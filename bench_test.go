@@ -1,0 +1,251 @@
+package mlfs
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Figs. 4a–4h, 5, 6–9, plus the in-text makespan comparison). Each
+// benchmark regenerates its figure's series at a CI-friendly scale and
+// logs them (go test -bench=. -v to see the series); full paper-scale
+// regeneration is `go run ./cmd/mlfs-bench`.
+//
+// Custom benchmark metrics report the headline quantity of each figure
+// so regressions in the *result* (not just the runtime) are visible.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// benchJobCounts is the reduced sweep used by the benchmarks.
+var benchJobCounts = []int{40, 80, 155}
+
+// benchSchedulers is a representative subset covering every behaviour
+// class (MLFS family, DAG-aware, service-based, FIFO+migration, fair,
+// quality-driven).
+var benchSchedulers = []string{"mlfs", "mlf-rl", "mlf-h", "graphene", "tiresias", "gandiva", "tensorflow", "slaq"}
+
+func benchBase() Options {
+	return Options{Seed: 1, SchedOpts: SchedulerOptions{Seed: 1}, Preset: PaperReal}
+}
+
+// The eight Figure-4 benchmarks all need the same scheduler × job-count
+// sweep; it is computed once and cached so `go test -bench=.` stays
+// tractable (every run is deterministic, so caching cannot change
+// results).
+var (
+	benchSweepOnce    sync.Once
+	benchSweepResults map[string][]*Result
+	benchSweepErr     error
+)
+
+func benchSweep(b *testing.B) map[string][]*Result {
+	b.Helper()
+	benchSweepOnce.Do(func() {
+		benchSweepResults, benchSweepErr = Compare(benchSchedulers, benchJobCounts, benchBase())
+	})
+	if benchSweepErr != nil {
+		b.Fatal(benchSweepErr)
+	}
+	return benchSweepResults
+}
+
+func logFigure(b *testing.B, fig *Figure) {
+	b.Helper()
+	var sb strings.Builder
+	if err := fig.WriteTSV(&sb); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+}
+
+func benchFig4(b *testing.B, metric Fig4Metric, headline func(*Figure) float64, unit string) {
+	b.Helper()
+	results := benchSweep(b)
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		fig = figureFromResults(metric, benchSchedulers, benchJobCounts, results, false)
+	}
+	logFigure(b, fig)
+	b.ReportMetric(headline(fig), unit)
+}
+
+// lastY returns the last point of the series with the given label.
+func lastY(fig *Figure, label string) float64 {
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	return 0
+}
+
+func BenchmarkFig4a_JCTCDF(b *testing.B) {
+	benchFig4(b, FigJCTCDF, func(f *Figure) float64 {
+		// Fraction of MLFS jobs under 100 minutes (quoted in §4.2.1).
+		for _, s := range f.Series {
+			if s.Label == "mlfs" {
+				for _, p := range s.Points {
+					if p.X >= 100 {
+						return p.Y
+					}
+				}
+			}
+		}
+		return 0
+	}, "mlfs-frac<100min")
+}
+
+func BenchmarkFig4b_AvgJCT(b *testing.B) {
+	benchFig4(b, FigAvgJCT, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-JCT-min")
+}
+
+func BenchmarkFig4c_DeadlineRatio(b *testing.B) {
+	benchFig4(b, FigDeadlineRatio, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-ddl-ratio")
+}
+
+func BenchmarkFig4d_WaitTime(b *testing.B) {
+	benchFig4(b, FigWaitTime, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-wait-s")
+}
+
+func BenchmarkFig4e_Accuracy(b *testing.B) {
+	benchFig4(b, FigAccuracy, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-accuracy")
+}
+
+func BenchmarkFig4f_AccuracyRatio(b *testing.B) {
+	benchFig4(b, FigAccuracyRatio, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-acc-ratio")
+}
+
+func BenchmarkFig4g_Bandwidth(b *testing.B) {
+	benchFig4(b, FigBandwidth, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-bw-GB")
+}
+
+func BenchmarkFig4h_Overhead(b *testing.B) {
+	benchFig4(b, FigOverhead, func(f *Figure) float64 { return lastY(f, "mlfs") }, "mlfs-sched-ms")
+}
+
+// BenchmarkFig5_LargeScale reproduces the Figure 5 sweep on the 550-server
+// / 2474-GPU cluster with the paper's job counts scaled down 1000x so it
+// fits a benchmark budget (cmd/mlfs-bench -scale tunes this).
+func BenchmarkFig5_LargeScale(b *testing.B) {
+	base := benchBase()
+	base.Preset = PaperSim
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = Figure4(FigAvgJCT, benchSchedulers, PaperSimJobCounts(1000)[:3], base)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logFigure(b, fig)
+	b.ReportMetric(lastY(fig, "mlfs"), "mlfs-JCT-min")
+}
+
+func BenchmarkFig6_UrgencyDeadline(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = Figure6(benchJobCounts, benchBase())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logFigure(b, fig)
+	// Headline: urgency consideration's improvement of the urgent-job
+	// deadline ratio (paper: +22–30%).
+	with := lastY(fig, "w/ urgency (urgent jobs)")
+	without := lastY(fig, "w/o urgency (urgent jobs)")
+	b.ReportMetric(Improvement(with, without), "urgency-gain")
+}
+
+func BenchmarkFig7_Bandwidth(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = Figure7(benchJobCounts, benchBase())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logFigure(b, fig)
+	// Headline: bandwidth saved by the communication term (paper: 20–35%).
+	with := lastY(fig, "w/ bandwidth (bw GB)")
+	without := lastY(fig, "w/o bandwidth (bw GB)")
+	b.ReportMetric(-Improvement(with, without), "bw-saved-frac")
+}
+
+func BenchmarkFig8_Migration(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = Figure8(benchJobCounts, benchBase())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logFigure(b, fig)
+	// Headline: overload occurrences removed by migration (paper: 36–60%).
+	with := lastY(fig, "w/ migration (overloads)")
+	without := lastY(fig, "w/o migration (overloads)")
+	b.ReportMetric(-Improvement(with, without), "overloads-removed-frac")
+}
+
+func BenchmarkFig9_LoadControl(b *testing.B) {
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = Figure9(benchJobCounts, benchBase())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logFigure(b, fig)
+	// Headline: JCT reduction from MLF-C (paper: 28–42%).
+	with := lastY(fig, "w/ MLF-C (JCT min)")
+	without := lastY(fig, "w/o MLF-C (JCT min)")
+	b.ReportMetric(-Improvement(with, without), "jct-saved-frac")
+}
+
+func BenchmarkMakespan(b *testing.B) {
+	results := benchSweep(b)
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		fig = &Figure{ID: "makespan", Title: "Makespan", XLabel: "number of jobs", YLabel: "makespan (h)"}
+		for _, name := range benchSchedulers {
+			fig.Series = append(fig.Series,
+				seriesOf(name, benchJobCounts, results[name], func(r *Result) float64 { return r.MakespanSec / 3600 }))
+		}
+	}
+	logFigure(b, fig)
+	b.ReportMetric(lastY(fig, "mlfs"), "mlfs-makespan-h")
+}
+
+// BenchmarkPaperShape checks the paper's expected orderings on the
+// cached benchmark sweep and reports the fraction that hold.
+func BenchmarkPaperShape(b *testing.B) {
+	results := benchSweep(b)
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		var exps []Expectation
+		for _, e := range PaperExpectations() {
+			if _, ok := results[e.Better]; !ok {
+				continue
+			}
+			if _, ok := results[e.Worse]; !ok {
+				continue
+			}
+			exps = append(exps, e)
+		}
+		outcomes, err := CheckExpectations(results, exps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass := 0
+		for _, o := range outcomes {
+			if o.Holds {
+				pass++
+			}
+		}
+		frac = float64(pass) / float64(len(outcomes))
+	}
+	b.ReportMetric(frac, "orderings-hold-frac")
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTSVAndTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig4b.tsv")
+	content := "# fig4b: Average JCT (average JCT (min) vs number of jobs)\n" +
+		"## mlfs\n155\t10.5\n310\t20.25\n" +
+		"## slaq\n155\t99\n310\t200\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fig, err := parseTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.id != "fig4b" || len(fig.series) != 2 {
+		t.Fatalf("parsed %+v", fig)
+	}
+	if fig.series[0].label != "mlfs" || fig.series[0].points[1][1] != 20.25 {
+		t.Fatalf("series wrong: %+v", fig.series[0])
+	}
+	md := table(fig)
+	for _, want := range []string{"### fig4b", "| scheduler | 155 | 310 |", "| mlfs | 10.5 | 20.25 |", "| slaq |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty.tsv":     "# header only\n",
+		"orphan.tsv":    "# h\n1\t2\n",
+		"badcols.tsv":   "# h\n## s\n1\t2\t3\n",
+		"badfloat.tsv":  "# h\n## s\nx\t2\n",
+		"badfloat2.tsv": "# h\n## s\n1\ty\n",
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseTSV(p); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := parseTSV(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

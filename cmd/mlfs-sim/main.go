@@ -1,0 +1,150 @@
+// Command mlfs-sim runs trace-driven scheduling simulations: a single
+// run (-scheduler) or a head-to-head comparison of several schedulers
+// (-compare), on either of the paper's cluster scales.
+//
+// Examples:
+//
+//	mlfs-sim -scheduler mlfs -jobs 620
+//	mlfs-sim -compare mlfs,mlf-h,tiresias -jobs 620
+//	mlfs-sim -compare all -jobs 155,310,620 -preset paper-real
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"mlfs"
+)
+
+func main() {
+	var (
+		scheduler = flag.String("scheduler", "", "single scheduler to run (see -list)")
+		compare   = flag.String("compare", "", "comma-separated schedulers, or 'all'")
+		jobsFlag  = flag.String("jobs", "620", "comma-separated job counts")
+		seed      = flag.Int64("seed", 1, "workload + policy seed")
+		preset    = flag.String("preset", "paper-real", "cluster preset: paper-real | paper-sim")
+		servers   = flag.Int("servers", 0, "override: number of servers")
+		gpus      = flag.Int("gpus", 0, "override: GPUs per server")
+		traceCSV  = flag.String("trace", "", "load workload from a trace CSV instead of generating")
+		list      = flag.Bool("list", false, "list scheduler names and exit")
+		sweepP    = flag.String("sweep", "", "sweep one MLF-H parameter (alpha|gamma|gamma_d|gamma_r|gamma_w|ps|hr|hs)")
+		sweepV    = flag.String("values", "", "comma-separated sweep values")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range mlfs.SchedulerNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	jobCounts, err := parseInts(*jobsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	base := mlfs.Options{
+		Seed:      *seed,
+		SchedOpts: mlfs.SchedulerOptions{Seed: *seed},
+		Preset:    mlfs.ClusterPreset(*preset),
+		Servers:   *servers, GPUsPerServer: *gpus,
+	}
+	if *traceCSV != "" {
+		tr, err := mlfs.LoadTraceCSV(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		base.Trace = tr
+	}
+
+	if *sweepP != "" {
+		runSweep(base, *sweepP, *sweepV, jobCounts[0])
+		return
+	}
+
+	var names []string
+	switch {
+	case *compare == "all":
+		names = mlfs.SchedulerNames()
+	case *compare != "":
+		names = strings.Split(*compare, ",")
+	case *scheduler != "":
+		names = []string{*scheduler}
+	default:
+		fatal(fmt.Errorf("need -scheduler or -compare (try -list)"))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheduler\tjobs\tavgJCT(min)\tmakespan(h)\twait(min)\tddl-ratio\tacc\tacc-ratio\tbw(GB)\tsched(ms)\tmigr\ttrunc")
+	for _, jc := range jobCounts {
+		for _, name := range names {
+			opts := base
+			opts.Scheduler = name
+			opts.Jobs = jc
+			// Run generates the workload deterministically from (jobs,
+			// seed, cluster), so every scheduler at the same job count
+			// sees an identical trace.
+			res, err := mlfs.Run(opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.1f\t%.3f\t%d\t%d\n",
+				res.Scheduler, res.Jobs, res.AvgJCTSec/60, res.MakespanSec/3600,
+				res.AvgWaitSec/60, res.DeadlineRatio, res.AvgAccuracy, res.AccuracyRatio,
+				res.Counters.BandwidthMB/1024, res.SchedOverheadMS(),
+				res.Counters.Migrations, res.Counters.Truncated)
+		}
+	}
+	w.Flush()
+}
+
+// runSweep executes the parameter sensitivity sweep and prints one row
+// per value.
+func runSweep(base mlfs.Options, param, valuesCSV string, jobs int) {
+	var values []float64
+	for _, part := range strings.Split(valuesCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad sweep value %q", part))
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		fatal(fmt.Errorf("-sweep needs -values"))
+	}
+	base.Jobs = jobs
+	points, err := mlfs.Sweep(param, values, base)
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\tavgJCT(min)\tddl-ratio\tacc\tacc-ratio\tbw(GB)\n", param)
+	for _, p := range points {
+		r := p.Result
+		fmt.Fprintf(w, "%g\t%.1f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			p.Value, r.AvgJCTSec/60, r.DeadlineRatio, r.AvgAccuracy, r.AccuracyRatio,
+			r.Counters.BandwidthMB/1024)
+	}
+	w.Flush()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad job count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlfs-sim:", err)
+	os.Exit(1)
+}

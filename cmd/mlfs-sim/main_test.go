@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("155, 310,620")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 155 || got[1] != 310 || got[2] != 620 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("12,abc"); err == nil {
+		t.Fatal("bad input must error")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty input must error")
+	}
+}

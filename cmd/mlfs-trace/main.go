@@ -1,0 +1,123 @@
+// Command mlfs-trace generates and inspects synthetic Philly-calibrated
+// workload traces.
+//
+// Examples:
+//
+//	mlfs-trace -gen -jobs 620 -seed 1 -out trace.csv
+//	mlfs-trace -stat trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mlfs"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		jobs    = flag.Int("jobs", 620, "number of jobs to generate")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		durH    = flag.Float64("duration-hours", 0, "arrival window (0: scaled to job count)")
+		out     = flag.String("out", "", "output CSV path (default stdout)")
+		statArg = flag.String("stat", "", "print summary statistics of a trace CSV")
+		phillyP = flag.String("philly", "", "convert a real Philly cluster_job_log to a trace CSV (-out)")
+		maxJobs = flag.Int("max-jobs", 0, "with -philly: truncate to this many jobs (0 = all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *phillyP != "":
+		tr, err := mlfs.LoadPhillyTrace(*phillyP, *maxJobs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			if err := tr.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := mlfs.SaveTraceCSV(tr, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("converted %d Philly jobs to %s\n", len(tr.Records), *out)
+	case *gen:
+		dur := *durH * 3600
+		if dur <= 0 {
+			dur = float64(*jobs) * 120
+			if dur < 2*3600 {
+				dur = 2 * 3600
+			}
+		}
+		tr := mlfs.GenerateTrace(*jobs, *seed, dur)
+		if *out == "" {
+			if err := tr.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := mlfs.SaveTraceCSV(tr, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d jobs over %.1f h to %s\n", len(tr.Records), dur/3600, *out)
+	case *statArg != "":
+		tr, err := mlfs.LoadTraceCSV(*statArg)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(tr *mlfs.Trace) {
+	gpuHist := map[int]int{}
+	famHist := map[string]int{}
+	commHist := map[string]int{}
+	urgent := 0
+	var lastArrival float64
+	for _, r := range tr.Records {
+		gpuHist[r.GPUs]++
+		famHist[r.Family.String()]++
+		commHist[r.Comm.String()]++
+		if r.Urgency > 8 {
+			urgent++
+		}
+		if r.ArrivalSec > lastArrival {
+			lastArrival = r.ArrivalSec
+		}
+	}
+	fmt.Printf("jobs: %d over %.1f h (%.1f jobs/h)\n",
+		len(tr.Records), lastArrival/3600, float64(len(tr.Records))/(lastArrival/3600))
+	fmt.Printf("urgent (>8): %d (%.1f%%)\n", urgent, 100*float64(urgent)/float64(len(tr.Records)))
+	var gpus []int
+	for g := range gpuHist {
+		gpus = append(gpus, g)
+	}
+	sort.Ints(gpus)
+	fmt.Println("gpu demand:")
+	for _, g := range gpus {
+		fmt.Printf("  %2d GPUs: %d\n", g, gpuHist[g])
+	}
+	fmt.Println("families:")
+	var fams []string
+	for f := range famHist {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		fmt.Printf("  %-8s %d\n", f, famHist[f])
+	}
+	fmt.Printf("comm: ps=%d allreduce=%d\n", commHist["ps"], commHist["allreduce"])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlfs-trace:", err)
+	os.Exit(1)
+}

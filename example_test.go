@@ -1,0 +1,58 @@
+package mlfs_test
+
+import (
+	"fmt"
+
+	"mlfs"
+)
+
+// ExampleRun shows the minimal path from a synthetic workload to the
+// paper's metrics. Results are deterministic under a fixed seed.
+func ExampleRun() {
+	trace := mlfs.GenerateTrace(10, 7, 3600)
+	res, err := mlfs.Run(mlfs.Options{
+		Scheduler: "mlf-h",
+		Trace:     trace,
+		Servers:   4, GPUsPerServer: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Jobs, "jobs scheduled")
+	// Output: 10 jobs scheduled
+}
+
+// ExampleNewScheduler enumerates the policies the paper evaluates.
+func ExampleNewScheduler() {
+	for _, name := range mlfs.SchedulerNames()[:3] {
+		s, err := mlfs.NewScheduler(name, mlfs.SchedulerOptions{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// mlfs
+	// mlf-rl
+	// mlf-h
+}
+
+// ExampleCompare runs two schedulers on the identical workload — the
+// sweep behind Figures 4 and 5.
+func ExampleCompare() {
+	results, err := mlfs.Compare([]string{"mlf-h", "gandiva"}, []int{12}, mlfs.Options{
+		Seed: 3, Servers: 4, GPUsPerServer: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(results["mlf-h"]), len(results["gandiva"]))
+	// Output: 1 1
+}
+
+// ExampleGenerateTrace round-trips a workload through CSV.
+func ExampleGenerateTrace() {
+	tr := mlfs.GenerateTrace(5, 1, 600)
+	fmt.Println(len(tr.Records))
+	// Output: 5
+}

@@ -1,0 +1,38 @@
+// Compare: run every scheduler the paper evaluates on one workload and
+// print the Figure 4 metrics side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mlfs"
+)
+
+func main() {
+	const jobs = 310
+	results, err := mlfs.Compare(mlfs.SchedulerNames(), []int{jobs}, mlfs.Options{
+		Seed:   3,
+		Preset: mlfs.PaperReal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheduler\tavgJCT(min)\tddl-ratio\taccuracy\tacc-ratio\tbw(GB)\toverhead(ms)")
+	for _, name := range mlfs.SchedulerNames() {
+		r := results[name][0]
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.3f\t%.3f\t%.1f\t%.3f\n",
+			name, r.AvgJCTSec/60, r.DeadlineRatio, r.AvgAccuracy, r.AccuracyRatio,
+			r.Counters.BandwidthMB/1024, r.SchedOverheadMS())
+	}
+	w.Flush()
+
+	best := results["mlfs"][0]
+	worst := results["slaq"][0]
+	fmt.Printf("\nMLFS vs SLAQ JCT reduction: %.0f%% (paper reports up to 53%%)\n",
+		100*(worst.AvgJCTSec-best.AvgJCTSec)/worst.AvgJCTSec)
+}

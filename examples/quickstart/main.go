@@ -1,0 +1,39 @@
+// Quickstart: generate a synthetic workload, run the MLFS scheduler on
+// the paper's 80-GPU cluster, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlfs"
+)
+
+func main() {
+	// 1. A deterministic synthetic workload: 120 DNN-training jobs
+	//    (AlexNet/ResNet/MLP/LSTM/SVM mix) arriving over two hours.
+	trace := mlfs.GenerateTrace(120, 42, 2*3600)
+	fmt.Printf("generated %d jobs\n", len(trace.Records))
+
+	// 2. Run MLFS (MLF-H warm-up -> MLF-RL + MLF-C) on the paper's
+	//    real-experiment cluster: 20 servers x 4 GPUs.
+	res, err := mlfs.Run(mlfs.Options{
+		Scheduler: "mlfs",
+		Trace:     trace,
+		Preset:    mlfs.PaperReal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The metrics the paper evaluates (Figs. 4-5).
+	fmt.Printf("average JCT:        %.1f min\n", res.AvgJCTSec/60)
+	fmt.Printf("makespan:           %.1f h\n", res.MakespanSec/3600)
+	fmt.Printf("avg waiting time:   %.1f min\n", res.AvgWaitSec/60)
+	fmt.Printf("deadline ratio:     %.1f%%\n", 100*res.DeadlineRatio)
+	fmt.Printf("accuracy (by ddl):  %.3f\n", res.AvgAccuracy)
+	fmt.Printf("accuracy ratio:     %.1f%%\n", 100*res.AccuracyRatio)
+	fmt.Printf("bandwidth cost:     %.1f GB\n", res.Counters.BandwidthMB/1024)
+	fmt.Printf("scheduler overhead: %.3f ms/round\n", res.SchedOverheadMS())
+	fmt.Printf("migrations:         %d\n", res.Counters.Migrations)
+}

@@ -1,0 +1,51 @@
+// Sensitivity: sweep MLF-H's tunable knobs (§3.3 discusses each one's
+// trade-off; the paper leaves the sensitivity study to future work) on a
+// fixed workload and print the trends as ASCII charts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlfs"
+)
+
+func main() {
+	base := mlfs.Options{Jobs: 120, Seed: 5, Preset: mlfs.PaperReal}
+
+	sweeps := []struct {
+		param  string
+		values []float64
+		note   string
+	}{
+		{"alpha", []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+			"α blends ML features vs computation features (Eq. 6)"},
+		{"ps", []float64{0.05, 0.1, 0.25, 0.5},
+			"p_s bounds migration to the lowest-priority tasks (§3.3.3)"},
+		{"hr", []float64{0.7, 0.8, 0.9, 0.95},
+			"h_r: lower relieves overload sooner but migrates more"},
+	}
+
+	for _, sw := range sweeps {
+		points, err := mlfs.Sweep(sw.param, sw.values, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig := &mlfs.Figure{
+			ID: "sweep-" + sw.param, Title: sw.note,
+			XLabel: sw.param, YLabel: "avg JCT (min)",
+		}
+		s := mlfs.Series{Label: "mlf-h"}
+		for _, p := range points {
+			s.Points = append(s.Points, mlfs.Point{X: p.Value, Y: p.Result.AvgJCTSec / 60})
+		}
+		fig.Series = append(fig.Series, s)
+		fmt.Println(fig.RenderASCII())
+		for _, p := range points {
+			fmt.Printf("  %s=%-5g avgJCT=%6.1f min  ddl=%.3f  bw=%.0f GB  migrations=%d\n",
+				sw.param, p.Value, p.Result.AvgJCTSec/60, p.Result.DeadlineRatio,
+				p.Result.Counters.BandwidthMB/1024, p.Result.Counters.Migrations)
+		}
+		fmt.Println()
+	}
+}

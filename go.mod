@@ -1,0 +1,3 @@
+module mlfs
+
+go 1.22

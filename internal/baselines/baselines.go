@@ -1,0 +1,398 @@
+// Package baselines re-implements the scheduling policies the paper
+// compares MLFS against (§2, §4.1): the TensorFlow/Borg fair scheduler,
+// SLAQ, Tiresias, Gandiva, Graphene, HyperSched and the RL device-
+// placement scheduler. Each is implemented to its published policy at the
+// level the paper describes and evaluated on the identical simulator.
+//
+// All baselines place at job (gang) granularity, like MLFS, because the
+// simulator models synchronous training; they differ — exactly as the
+// originals do — in job ordering, server choice, overload handling and
+// what they optimise.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"mlfs/internal/job"
+	"mlfs/internal/sched"
+)
+
+// orderedGangPlace places pending jobs in the order given by less (a
+// strict weak ordering over jobs), using choose for server selection.
+func orderedGangPlace(ctx *sched.Context, less func(a, b *job.Job) bool, choose sched.ServerChooser) {
+	jobs := ctx.PendingJobs()
+	sort.SliceStable(jobs, func(i, k int) bool { return less(jobs[i], jobs[k]) })
+	for _, j := range jobs {
+		ctx.PlaceGang(ctx.QueuedTasksOf(j), choose)
+	}
+}
+
+// attainedServiceSec estimates the GPU-time a job has consumed so far —
+// Tiresias' least-attained-service metric: executed iterations × per-
+// iteration compute × workers.
+func attainedServiceSec(j *job.Job) float64 {
+	perIter := 0.0
+	for _, t := range j.Tasks {
+		perIter += t.ComputeSec
+	}
+	return j.Progress * perIter
+}
+
+// remainingWorkSec estimates the compute remaining for a job.
+func remainingWorkSec(j *job.Job) float64 {
+	return float64(j.RemainingIterations()) * j.CriticalPathSec()
+}
+
+// BorgFair is the fair scheduler TensorFlow inherits from Borg (§2): it
+// equalises resource shares across jobs. Pending jobs are ordered by the
+// fraction of their request already served (dominant-share style), so the
+// least-served job is admitted first; placement spreads load.
+type BorgFair struct{}
+
+// NewBorgFair returns the fair scheduler.
+func NewBorgFair() *BorgFair { return &BorgFair{} }
+
+// Name implements sched.Scheduler.
+func (*BorgFair) Name() string { return "tensorflow" }
+
+// Schedule implements sched.Scheduler.
+func (*BorgFair) Schedule(ctx *sched.Context) {
+	served := func(j *job.Job) float64 {
+		placed := 0
+		for _, t := range j.Tasks {
+			if ctx.Cluster.Lookup(t.ID.Ref()) != nil {
+				placed++
+			}
+		}
+		return float64(placed) / float64(len(j.Tasks))
+	}
+	orderedGangPlace(ctx, func(a, b *job.Job) bool {
+		sa, sb := served(a), served(b)
+		if sa != sb {
+			return sa < sb
+		}
+		return a.ID < b.ID
+	}, sched.LeastLoadedFit)
+	// Fairness is enforced by time-sharing: while jobs starve in the
+	// queue, the running job with the most attained service is preempted
+	// so everyone gets a turn (bounded per round to limit churn).
+	preemptRunning(ctx, 2, func(running *job.Job) float64 {
+		return -attainedServiceSec(running) // most-served evicted first
+	}, func(running *job.Job) bool {
+		// Only time-share away from jobs that already got a turn.
+		return attainedServiceSec(running) > 0
+	})
+}
+
+// preemptRunning evicts up to max fully-placed jobs, lowest score first,
+// when queued jobs are waiting. beats, when non-nil, additionally gates
+// each eviction (e.g. "some queued job outscores the victim").
+func preemptRunning(ctx *sched.Context, max int, score func(*job.Job) float64,
+	beats func(running *job.Job) bool) {
+	if ctx.NumWaiting() == 0 || len(ctx.PendingJobs()) == 0 {
+		return
+	}
+	var running []*job.Job
+	for _, j := range ctx.Jobs() {
+		if !j.Done() && len(ctx.QueuedTasksOf(j)) == 0 && ctx.FullyPlaced(j) {
+			running = append(running, j)
+		}
+	}
+	sort.SliceStable(running, func(i, k int) bool {
+		si, sk := score(running[i]), score(running[k])
+		if si != sk {
+			return si < sk // lowest score = first victim
+		}
+		return running[i].ID < running[k].ID
+	})
+	evictions := 0
+	for _, victim := range running {
+		if evictions >= max {
+			break
+		}
+		if beats != nil && !beats(victim) {
+			continue
+		}
+		if ctx.EvictJob(victim) > 0 {
+			evictions++
+		}
+	}
+}
+
+// SLAQ maximises aggregate model quality (§2): resources go to the job
+// with the largest predicted loss reduction per unit runtime next.
+type SLAQ struct{}
+
+// NewSLAQ returns the SLAQ scheduler.
+func NewSLAQ() *SLAQ { return &SLAQ{} }
+
+// Name implements sched.Scheduler.
+func (*SLAQ) Name() string { return "slaq" }
+
+// Schedule implements sched.Scheduler.
+func (*SLAQ) Schedule(ctx *sched.Context) {
+	gain := func(j *job.Job) float64 {
+		iterSec := j.CriticalPathSec()
+		if iterSec <= 0 {
+			return 0
+		}
+		return j.Curve.LossReduction(j.Iteration()) / iterSec
+	}
+	orderedGangPlace(ctx, func(a, b *job.Job) bool {
+		ga, gb := gain(a), gain(b)
+		if ga != gb {
+			return ga > gb
+		}
+		return a.ID < b.ID
+	}, sched.LeastLoadedFit)
+	// SLAQ reallocates resources every epoch purely by marginal quality
+	// gain: a running job whose loss curve has flattened loses its slots
+	// to a queued job with a steeper curve. This is what starves
+	// almost-converged jobs and drives SLAQ's poor JCT in the paper.
+	preemptRunning(ctx, 2, gain, func(running *job.Job) bool {
+		for _, q := range ctx.PendingJobs() {
+			if gain(q) > gain(running) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Tiresias schedules DL jobs with least-attained-service priority plus a
+// boost for jobs that can complete within the next service epoch (§2).
+type Tiresias struct {
+	// EpochSec is the service epoch for the completion boost
+	// (default 600 s).
+	EpochSec float64
+}
+
+// NewTiresias returns the Tiresias scheduler.
+func NewTiresias() *Tiresias { return &Tiresias{EpochSec: 600} }
+
+// Name implements sched.Scheduler.
+func (*Tiresias) Name() string { return "tiresias" }
+
+// Schedule implements sched.Scheduler.
+func (t *Tiresias) Schedule(ctx *sched.Context) {
+	epoch := t.EpochSec
+	if epoch <= 0 {
+		epoch = 600
+	}
+	key := func(j *job.Job) float64 {
+		s := attainedServiceSec(j)
+		// Jobs finishable within the next epoch jump the queue (the
+		// Gittins-index principle for known durations).
+		if remainingWorkSec(j) <= epoch {
+			s = -1
+		}
+		return s
+	}
+	orderedGangPlace(ctx, func(a, b *job.Job) bool {
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			return ka < kb
+		}
+		return a.ID < b.ID
+	}, sched.FirstFit)
+}
+
+// Graphene packs DAG jobs by handling "troublesome" tasks first (§2):
+// across jobs it favours those with the least remaining work (weighted
+// toward average-JCT), and within a job it places the tasks with the most
+// dependants and the toughest demands first.
+type Graphene struct{}
+
+// NewGraphene returns the Graphene scheduler.
+func NewGraphene() *Graphene { return &Graphene{} }
+
+// Name implements sched.Scheduler.
+func (*Graphene) Name() string { return "graphene" }
+
+// Schedule implements sched.Scheduler.
+func (*Graphene) Schedule(ctx *sched.Context) {
+	jobs := ctx.PendingJobs()
+	sort.SliceStable(jobs, func(i, k int) bool {
+		ra, rb := remainingWorkSec(jobs[i]), remainingWorkSec(jobs[k])
+		if ra != rb {
+			return ra < rb
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	for _, j := range jobs {
+		desc := j.DescendantCount()
+		tasks := ctx.QueuedTasksOf(j)
+		sort.SliceStable(tasks, func(i, k int) bool {
+			da, db := desc[tasks[i].Index], desc[tasks[k].Index]
+			if da != db {
+				return da > db
+			}
+			// Tough-to-pack: higher compute demand first.
+			if tasks[i].ComputeSec != tasks[k].ComputeSec {
+				return tasks[i].ComputeSec > tasks[k].ComputeSec
+			}
+			return tasks[i].ID < tasks[k].ID
+		})
+		ctx.PlaceGang(tasks, sched.FirstFit)
+	}
+}
+
+// HyperSched maximises the accuracy attainable before each job's deadline
+// under resource constraints (§2): jobs with the highest achievable
+// accuracy improvement before their deadline get resources first, and
+// jobs whose accuracy no longer improves significantly are paused (placed
+// only when everything promising has been served).
+type HyperSched struct {
+	// MinGain is the accuracy-improvement threshold below which a job is
+	// considered paused (default 0.005).
+	MinGain float64
+}
+
+// NewHyperSched returns the HyperSched scheduler.
+func NewHyperSched() *HyperSched { return &HyperSched{MinGain: 0.005} }
+
+// Name implements sched.Scheduler.
+func (*HyperSched) Name() string { return "hypersched" }
+
+// Schedule implements sched.Scheduler.
+func (h *HyperSched) Schedule(ctx *sched.Context) {
+	gain := func(j *job.Job) float64 {
+		iterSec := j.CriticalPathSec()
+		if iterSec <= 0 {
+			return 0
+		}
+		budget := j.Deadline - ctx.Now
+		if budget <= 0 {
+			return 0
+		}
+		possible := int(budget / iterSec)
+		reachable := j.CompletedIterations() + possible
+		if reachable > j.MaxIterations {
+			reachable = j.MaxIterations
+		}
+		return j.Curve.Accuracy(reachable) - j.Accuracy()
+	}
+	minGain := h.MinGain
+	if minGain <= 0 {
+		minGain = 0.005
+	}
+	// Deadline criticality: achievable accuracy gain per remaining hour.
+	// A job close to its deadline that can still improve gets resources
+	// first — HyperSched's "higher accuracy before the pre-set deadline".
+	score := func(j *job.Job) float64 {
+		g := gain(j)
+		slackH := (j.Deadline - ctx.Now) / 3600
+		if slackH < 0.5 {
+			slackH = 0.5
+		}
+		return g / slackH
+	}
+	orderedGangPlace(ctx, func(a, b *job.Job) bool {
+		ga, gb := gain(a), gain(b)
+		pa, pb := ga < minGain, gb < minGain
+		if pa != pb {
+			return !pa // promising jobs strictly before paused ones
+		}
+		sa, sb := score(a), score(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return a.ID < b.ID
+	}, sched.LeastLoadedFit)
+}
+
+// Gandiva uses FIFO queuing with affinity packing and utilisation-driven
+// GPU migration (§2): jobs are placed in arrival order, preferring
+// servers that already host jobs with the same GPU-count request; when a
+// GPU overloads, the task with the lowest GPU utilisation moves to the
+// least-utilised GPU. Gandiva considers only GPUs — no other resources
+// and no bandwidth cost — which is why it wins on scheduler overhead and
+// loses on bandwidth (Figs. 4g/4h).
+type Gandiva struct{}
+
+// NewGandiva returns the Gandiva scheduler.
+func NewGandiva() *Gandiva { return &Gandiva{} }
+
+// Name implements sched.Scheduler.
+func (*Gandiva) Name() string { return "gandiva" }
+
+// Schedule implements sched.Scheduler.
+func (g *Gandiva) Schedule(ctx *sched.Context) {
+	// FIFO by job id (ids are assigned in submission order).
+	jobs := ctx.PendingJobs()
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	for _, j := range jobs {
+		gpus := j.GPUsRequested()
+		chooser := func(c *sched.Context, t *job.Task, cand []int) (int, int, bool) {
+			// Affinity: prefer servers hosting tasks of jobs with the same
+			// GPU request.
+			bestAff, bestServer := -1, -1
+			for _, si := range cand {
+				s := c.Cluster.Server(si)
+				dev := s.LeastLoadedDevice()
+				if !c.Cluster.Fits(si, dev.ID(), t.Demand, t.GPUShare, c.HR) {
+					continue
+				}
+				aff := 0
+				for _, p := range s.Tasks() {
+					other := c.TaskByRef(p.Task)
+					if other != nil && other.Job.GPUsRequested() == gpus {
+						aff++
+					}
+				}
+				if aff > bestAff {
+					bestAff, bestServer = aff, si
+				}
+			}
+			if bestServer < 0 {
+				return 0, 0, false
+			}
+			return bestServer, c.Cluster.Server(bestServer).LeastLoadedDevice().ID(), true
+		}
+		ctx.PlaceGang(ctx.QueuedTasksOf(j), chooser)
+	}
+	g.migrateOverloadedGPUs(ctx)
+}
+
+// migrateOverloadedGPUs implements Gandiva's GPU-utilisation balancing.
+func (*Gandiva) migrateOverloadedGPUs(ctx *sched.Context) {
+	for _, si := range ctx.Cluster.Overloaded(ctx.HR) {
+		s := ctx.Cluster.Server(si)
+		for _, dev := range s.Devices() {
+			if dev.Utilization() <= ctx.HR {
+				continue
+			}
+			// Lowest-GPU-share task on the overloaded device.
+			var victim *job.Task
+			low := math.Inf(1)
+			for _, ref := range dev.Tasks() {
+				t := ctx.TaskByRef(ref)
+				if t == nil {
+					continue
+				}
+				p := ctx.Cluster.Lookup(ref)
+				if p.GPUShare < low {
+					low, victim = p.GPUShare, t
+				}
+			}
+			if victim == nil {
+				continue
+			}
+			// Least-utilised GPU anywhere else.
+			bestS, bestD, bestU := -1, -1, math.Inf(1)
+			for _, osi := range ctx.Cluster.Underloaded(ctx.HR) {
+				od := ctx.Cluster.Server(osi).LeastLoadedDevice()
+				if !ctx.Cluster.Fits(osi, od.ID(), victim.Demand, victim.GPUShare, ctx.HR) {
+					continue
+				}
+				if u := od.Utilization(); u < bestU {
+					bestS, bestD, bestU = osi, od.ID(), u
+				}
+			}
+			if bestS >= 0 {
+				_ = ctx.Migrate(victim, bestS, bestD)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func smallCluster() *Cluster {
+	return New(Config{
+		Servers:        3,
+		GPUsPerServer:  2,
+		GPUCapacity:    1,
+		CPUCapacity:    8,
+		MemoryCapacity: 32,
+		BWCapacity:     100,
+	})
+}
+
+func TestNewClusterShape(t *testing.T) {
+	c := smallCluster()
+	if c.NumServers() != 3 {
+		t.Fatalf("NumServers = %d", c.NumServers())
+	}
+	if c.NumGPUs() != 6 {
+		t.Fatalf("NumGPUs = %d", c.NumGPUs())
+	}
+	s := c.Server(0)
+	if s.Capacity()[ResGPU] != 2 || s.Capacity()[ResCPU] != 8 {
+		t.Fatalf("capacity = %v", s.Capacity())
+	}
+	if s.NumDevices() != 2 {
+		t.Fatalf("NumDevices = %d", s.NumDevices())
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	real := New(PaperRealConfig())
+	if real.NumGPUs() != 80 {
+		t.Fatalf("real config GPUs = %d, want 80 (20 servers x 4 V100)", real.NumGPUs())
+	}
+	sim := New(PaperSimConfig())
+	if sim.NumServers() != 550 {
+		t.Fatalf("sim servers = %d, want 550", sim.NumServers())
+	}
+	if sim.NumGPUs() != 2474 {
+		t.Fatalf("sim GPUs = %d, want 2474 (Philly trace)", sim.NumGPUs())
+	}
+}
+
+func TestPlaceRemoveRoundTrip(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 1, ResCPU: 2, ResMemory: 4, ResBandwidth: 10}
+	if err := c.Place(7, 1, 0, d, 1); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if c.NumTasks() != 1 {
+		t.Fatalf("NumTasks = %d", c.NumTasks())
+	}
+	p := c.Lookup(7)
+	if p == nil || p.Server != 1 || p.Device != 0 {
+		t.Fatalf("Lookup = %+v", p)
+	}
+	s := c.Server(1)
+	if s.Used() != d {
+		t.Fatalf("Used = %v, want %v", s.Used(), d)
+	}
+	if s.Devices()[0].Load() != 1 {
+		t.Fatalf("device load = %v", s.Devices()[0].Load())
+	}
+	got := c.Remove(7)
+	if got == nil || got.Task != 7 {
+		t.Fatalf("Remove = %+v", got)
+	}
+	if s.Used() != (Vec{}) {
+		t.Fatalf("Used after remove = %v, want zero", s.Used())
+	}
+	if c.Lookup(7) != nil {
+		t.Fatal("task still present after Remove")
+	}
+	if c.Remove(7) != nil {
+		t.Fatal("double Remove must return nil")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 1}
+	if err := c.Place(1, 0, 0, d, 1); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if err := c.Place(1, 1, 0, d, 1); err == nil {
+		t.Fatal("duplicate Place must fail")
+	}
+	if err := c.Place(2, 99, 0, d, 1); err == nil {
+		t.Fatal("bad server must fail")
+	}
+	if err := c.Place(2, 0, 99, d, 1); err == nil {
+		t.Fatal("bad device must fail")
+	}
+}
+
+func TestOverloadDetection(t *testing.T) {
+	c := smallCluster()
+	s := c.Server(0)
+	if s.Overloaded(0.9) {
+		t.Fatal("empty server must not be overloaded")
+	}
+	// Fill CPU to 95% of capacity 8 -> 7.6.
+	if err := c.Place(1, 0, 0, Vec{ResCPU: 7.6}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Overloaded(0.9) {
+		t.Fatal("server with 95% CPU must be overloaded at hr=0.9")
+	}
+	ov := s.OverloadedResources(0.9)
+	if len(ov) != 1 || ov[0] != ResCPU {
+		t.Fatalf("OverloadedResources = %v, want [cpu]", ov)
+	}
+	got := c.Overloaded(0.9)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Overloaded = %v", got)
+	}
+	und := c.Underloaded(0.9)
+	if len(und) != 2 {
+		t.Fatalf("Underloaded = %v", und)
+	}
+}
+
+func TestDeviceOverloadMarksServer(t *testing.T) {
+	c := smallCluster()
+	// GPU device 0 at 95% share; aggregate GPU utilisation is only 47.5%.
+	if err := c.Place(1, 0, 0, Vec{ResGPU: 0.95}, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Server(0).Overloaded(0.9) {
+		t.Fatal("overloaded device must mark server overloaded")
+	}
+}
+
+func TestFits(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 1, ResCPU: 4}
+	if !c.Fits(0, 0, d, 1.0, 1.0) {
+		t.Fatal("task must fit on empty server at hr=1")
+	}
+	if c.Fits(0, 0, Vec{ResCPU: 7.9}, 0, 0.9) {
+		t.Fatal("7.9/8 CPU exceeds hr=0.9")
+	}
+	// Fill device 0 fully; a new gpuShare=0.5 must not fit on device 0
+	// but must fit on device 1.
+	if err := c.Place(1, 0, 0, Vec{ResGPU: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fits(0, 0, Vec{ResGPU: 0.5}, 0.5, 1.0) {
+		t.Fatal("device 0 is full")
+	}
+	if !c.Fits(0, 1, Vec{ResGPU: 0.5}, 0.5, 1.0) {
+		t.Fatal("device 1 is empty")
+	}
+}
+
+func TestLeastLoadedDevice(t *testing.T) {
+	c := smallCluster()
+	s := c.Server(0)
+	if s.LeastLoadedDevice().ID() != 0 {
+		t.Fatal("tie must break to device 0")
+	}
+	if err := c.Place(1, 0, 0, Vec{ResGPU: 0.6}, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if s.LeastLoadedDevice().ID() != 1 {
+		t.Fatal("device 1 must be least loaded")
+	}
+}
+
+func TestOverloadDegree(t *testing.T) {
+	c := smallCluster()
+	if c.OverloadDegree() != 0 {
+		t.Fatal("empty cluster has zero overload degree")
+	}
+	// Server 0: CPU fully used -> U = (0,1,0,0), ||U|| = 1.
+	if err := c.Place(1, 0, 0, Vec{ResCPU: 8}, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 3.0
+	if math.Abs(c.OverloadDegree()-want) > 1e-9 {
+		t.Fatalf("OverloadDegree = %v, want %v", c.OverloadDegree(), want)
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	c := smallCluster()
+	if err := c.Place(1, 0, 0, Vec{ResCPU: 4}, 0); err != nil { // 50% CPU on server 0
+		t.Fatal(err)
+	}
+	mu := c.MeanUtilization()
+	if math.Abs(mu[ResCPU]-0.5/3) > 1e-9 {
+		t.Fatalf("MeanUtilization cpu = %v", mu[ResCPU])
+	}
+}
+
+func TestServerTaskListsSorted(t *testing.T) {
+	c := smallCluster()
+	for _, id := range []TaskRef{9, 3, 5} {
+		if err := c.Place(id, 0, 0, Vec{ResGPU: 0.1}, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := c.Server(0).Tasks()
+	if len(tasks) != 3 || tasks[0].Task != 3 || tasks[1].Task != 5 || tasks[2].Task != 9 {
+		t.Fatalf("Tasks not sorted: %v", tasks)
+	}
+	devTasks := c.Server(0).Devices()[0].Tasks()
+	if len(devTasks) != 3 || devTasks[0] != 3 {
+		t.Fatalf("device Tasks not sorted: %v", devTasks)
+	}
+	if c.Server(0).Devices()[0].NumTasks() != 3 {
+		t.Fatal("NumTasks mismatch")
+	}
+}
+
+// Invariant: after any sequence of Place/Remove, the server used vector
+// equals the sum of the demands of its placements, and device loads equal
+// the sum of gpu shares.
+func TestAccountingInvariant(t *testing.T) {
+	c := smallCluster()
+	type op struct {
+		place  bool
+		id     TaskRef
+		server int
+		device int
+	}
+	ops := []op{
+		{true, 1, 0, 0}, {true, 2, 0, 1}, {true, 3, 1, 0},
+		{false, 2, 0, 0}, {true, 4, 0, 1}, {false, 1, 0, 0},
+		{true, 5, 2, 1}, {false, 3, 0, 0}, {true, 6, 0, 0},
+	}
+	demand := Vec{ResGPU: 0.25, ResCPU: 1, ResMemory: 2, ResBandwidth: 5}
+	for _, o := range ops {
+		if o.place {
+			if err := c.Place(o.id, o.server, o.device, demand, 0.25); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			c.Remove(o.id)
+		}
+		for _, s := range c.Servers() {
+			var sum Vec
+			for _, p := range s.Tasks() {
+				sum = sum.Add(p.Demand)
+			}
+			if s.Used().Distance(sum) > 1e-9 {
+				t.Fatalf("server %d used %v != sum of demands %v", s.ID(), s.Used(), sum)
+			}
+			for _, dev := range s.Devices() {
+				var load float64
+				for range dev.Tasks() {
+					load += 0.25
+				}
+				if math.Abs(dev.Load()-load) > 1e-9 {
+					t.Fatalf("device load %v != %v", dev.Load(), load)
+				}
+			}
+		}
+	}
+}
+
+func TestSetDemand(t *testing.T) {
+	c := smallCluster()
+	if c.SetDemand(9, Vec{}, 0) {
+		t.Fatal("SetDemand on unplaced task must return false")
+	}
+	d := Vec{ResGPU: 0.5, ResCPU: 2}
+	if err := c.Place(1, 0, 0, d, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	d2 := Vec{ResGPU: 0.8, ResCPU: 4, ResBandwidth: 10}
+	if !c.SetDemand(1, d2, 0.8) {
+		t.Fatal("SetDemand failed")
+	}
+	s := c.Server(0)
+	if s.Used() != d2 {
+		t.Fatalf("Used = %v, want %v", s.Used(), d2)
+	}
+	if s.Devices()[0].Load() != 0.8 {
+		t.Fatalf("device load = %v", s.Devices()[0].Load())
+	}
+	p := c.Lookup(1)
+	if p.Demand != d2 || p.GPUShare != 0.8 {
+		t.Fatalf("placement not updated: %+v", p)
+	}
+	// Removing after SetDemand must leave the server empty.
+	c.Remove(1)
+	if s.Used() != (Vec{}) || s.Devices()[0].Load() != 0 {
+		t.Fatal("accounting corrupt after SetDemand+Remove")
+	}
+}
+
+func TestConfigTotalGPUs(t *testing.T) {
+	if PaperRealConfig().TotalGPUs() != 80 {
+		t.Fatal("paper-real GPUs")
+	}
+	if PaperSimConfig().TotalGPUs() != 2474 {
+		t.Fatal("paper-sim GPUs")
+	}
+	if (Config{Servers: 3, GPUsPerServer: 2}).TotalGPUs() != 6 {
+		t.Fatal("custom GPUs")
+	}
+}

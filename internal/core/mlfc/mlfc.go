@@ -1,0 +1,91 @@
+// Package mlfc implements MLF-C, the ML-feature-based system load
+// control of §3.5. Each round it checks whether the system is overloaded
+// (waiting tasks, or cluster overload degree O_c > h_s), downgrades the
+// stop options of consenting jobs to shed load, and stops jobs whose
+// effective stop option says their training should end — freeing
+// resources that improve both JCT and accuracy-by-deadline for everyone
+// else (Fig 9).
+package mlfc
+
+import (
+	"mlfs/internal/job"
+	"mlfs/internal/learncurve"
+	"mlfs/internal/sched"
+)
+
+// Controller is the MLF-C load controller. It is not a standalone
+// scheduler; the MLFS composite invokes Control after placement each
+// round.
+type Controller struct {
+	// ConfidenceThreshold gates accuracy-prediction-based stops
+	// (default 0.8, §3.5).
+	ConfidenceThreshold float64
+	// NearMaxFraction is the OptStop convergence threshold
+	// (default 0.99).
+	NearMaxFraction float64
+	// AssumeOptStop treats every option-(i) job as OptStop, the paper's
+	// evaluation setting (§4.1: "we assume that all jobs use OptStop").
+	AssumeOptStop bool
+
+	// Stops counts the jobs this controller has terminated.
+	Stops int
+}
+
+// New returns a controller with the paper's defaults.
+func New() *Controller {
+	return &Controller{
+		ConfidenceThreshold: 0.8,
+		NearMaxFraction:     0.99,
+		AssumeOptStop:       true,
+	}
+}
+
+// EffectiveOption returns the stop option MLF-C enforces for j right now,
+// given whether the system is overloaded. Downgrades apply only while the
+// system is overloaded (§3.5: "when the system is not overloaded, MLF-C
+// follows the user choices; when overloaded, it changes the choices") —
+// once the overload clears, the user's own option is honoured again.
+func (c *Controller) EffectiveOption(j *job.Job, overloaded bool) learncurve.StopOption {
+	opt := j.StopOption
+	if c.AssumeOptStop && opt == learncurve.RunToMaxIterations {
+		opt = learncurve.OptStop
+	}
+	if overloaded && j.AllowDowngrade {
+		opt = opt.Downgrade()
+	}
+	return opt
+}
+
+// Control evaluates every active job and stops the ones whose effective
+// option says training should end.
+//
+// The downgrade trigger is deliberately stricter than ctx.Overloaded():
+// §3.5 switches user options "if the changes help reduce the system
+// workload", so a momentary non-empty queue does not justify cutting
+// jobs short — only a cluster past its overload degree threshold, or a
+// queue deeper than the cluster's entire GPU count (sustained severe
+// overload), does.
+func (c *Controller) Control(ctx *sched.Context) {
+	overloaded := ctx.Cluster.OverloadDegree() > ctx.HS ||
+		ctx.NumWaiting() > ctx.Cluster.NumGPUs()
+	for _, j := range ctx.Jobs() {
+		if j.Done() || j.CompletedIterations() == 0 {
+			continue
+		}
+		opt := c.EffectiveOption(j, overloaded)
+		if opt == learncurve.RunToMaxIterations {
+			continue // the simulator finishes these at I_max by itself
+		}
+		dec := learncurve.StopDecision{
+			Option:              opt,
+			Target:              j.AccuracyTarget,
+			MaxIterations:       j.MaxIterations,
+			ConfidenceThreshold: c.ConfidenceThreshold,
+			NearMaxFraction:     c.NearMaxFraction,
+		}
+		if dec.ShouldStop(&j.Predictor, j.CompletedIterations(), j.Accuracy()) {
+			ctx.StopJob(j)
+			c.Stops++
+		}
+	}
+}

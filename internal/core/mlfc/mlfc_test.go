@@ -1,0 +1,138 @@
+package mlfc
+
+import (
+	"testing"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/job"
+	"mlfs/internal/learncurve"
+	"mlfs/internal/sched"
+)
+
+func testCluster() *cluster.Cluster {
+	return cluster.New(cluster.Config{Servers: 2, GPUsPerServer: 4, GPUCapacity: 1,
+		CPUCapacity: 32, MemoryCapacity: 244, BWCapacity: 1200})
+}
+
+func buildJob(t *testing.T, id int64, opt learncurve.StopOption, allowDowngrade bool) *job.Job {
+	t.Helper()
+	var next job.TaskID
+	next = job.TaskID(id * 100)
+	j, err := job.Build(job.Spec{
+		ID: job.ID(id), Family: learncurve.MLP, Comm: job.AllReduce,
+		ModelParallel: 1, MaxIterations: 500, IterSec: 1, TotalParams: 10,
+		Urgency: 5, Deadline: 24 * 3600, AccuracyTarget: 0.5,
+		StopOption: opt, AllowDowngrade: allowDowngrade,
+		Curve: learncurve.Curve{L0: 2, Floor: 0.1, Decay: 1, AccMax: 0.9, Rate: 0.05},
+	}, &next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// trainTo simulates progress: fills predictor observations and progress.
+func trainTo(j *job.Job, iters int) {
+	j.Progress = float64(iters)
+	j.State = job.Running
+	for i := 1; i <= iters; i++ {
+		j.Predictor.Observe(i, j.Curve.Accuracy(i))
+	}
+}
+
+func TestStopAtTargetUnderOverload(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.OptStop, true)
+	trainTo(j, 30) // accuracy(30) ≈ 0.9·(1−e^−1.5) ≈ 0.70 > target 0.5
+	// Overloaded context: a queue deeper than the cluster's
+	// GPUs (the controller's downgrade trigger).
+	jobs := []*job.Job{j}
+	var waiting []*job.Task
+	for i := int64(2); i <= 12; i++ {
+		other := buildJob(t, i, learncurve.RunToMaxIterations, false)
+		jobs = append(jobs, other)
+		waiting = append(waiting, other.Tasks...)
+	}
+	ctx := sched.NewContext(0, testCluster(), jobs, waiting, 0.9, 0.9)
+	if !ctx.Overloaded() {
+		t.Fatal("setup: context must be overloaded")
+	}
+	c.Control(ctx)
+	found := false
+	for _, s := range ctx.Stopped {
+		if s == j {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("overload must downgrade OptStop→StopAtTarget and stop the job at target accuracy")
+	}
+	if c.Stops == 0 {
+		t.Fatal("stop counter")
+	}
+}
+
+func TestNoDowngradeWithoutConsent(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.OptStop, false) // no consent
+	trainTo(j, 30)                                 // above target but far from asymptote
+	other := buildJob(t, 2, learncurve.RunToMaxIterations, false)
+	ctx := sched.NewContext(0, testCluster(), []*job.Job{j, other},
+		append([]*job.Task(nil), other.Tasks...), 0.9, 0.9)
+	c.Control(ctx)
+	for _, s := range ctx.Stopped {
+		if s == j {
+			t.Fatal("job without downgrade consent must keep OptStop semantics")
+		}
+	}
+}
+
+func TestOptStopStopsConvergedJob(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.OptStop, false)
+	trainTo(j, 300) // essentially converged to AccMax
+	ctx := sched.NewContext(0, testCluster(), []*job.Job{j}, nil, 0.9, 0.9)
+	if ctx.Overloaded() {
+		t.Fatal("setup: not overloaded")
+	}
+	c.Control(ctx)
+	if len(ctx.Stopped) != 1 {
+		t.Fatal("converged OptStop job must be stopped even without overload")
+	}
+}
+
+func TestAssumeOptStopConvertsOptionI(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.RunToMaxIterations, false)
+	if got := c.EffectiveOption(j, false); got != learncurve.OptStop {
+		t.Fatalf("AssumeOptStop must convert option i, got %v", got)
+	}
+	c.AssumeOptStop = false
+	if got := c.EffectiveOption(j, false); got != learncurve.RunToMaxIterations {
+		t.Fatalf("without AssumeOptStop option i must survive, got %v", got)
+	}
+}
+
+func TestDowngradeOnlyWhileOverloaded(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.OptStop, true)
+	if got := c.EffectiveOption(j, true); got != learncurve.StopAtTarget {
+		t.Fatalf("overload must downgrade to StopAtTarget, got %v", got)
+	}
+	// Overload gone: the user's option is honoured again (§3.5).
+	if got := c.EffectiveOption(j, false); got != learncurve.OptStop {
+		t.Fatalf("downgrade must lift with the overload, got %v", got)
+	}
+}
+
+func TestFreshJobNeverStopped(t *testing.T) {
+	c := New()
+	j := buildJob(t, 1, learncurve.StopAtTarget, true)
+	// Zero completed iterations: never stop, whatever the predictor says.
+	ctx := sched.NewContext(0, testCluster(), []*job.Job{j},
+		append([]*job.Task(nil), j.Tasks...), 0.9, 0.9)
+	c.Control(ctx)
+	if len(ctx.Stopped) != 0 {
+		t.Fatal("job with no completed iterations must not be stopped")
+	}
+}

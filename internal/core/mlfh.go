@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/job"
+	"mlfs/internal/queue"
+	"mlfs/internal/sched"
+)
+
+// MLFH is the ML-feature-based heuristic task scheduler (§3.3). Each
+// round it (1) recomputes task priorities from Eqs. 2–6, (2) places
+// queued jobs in priority order onto RIAL-chosen servers, and (3)
+// relieves overloaded servers by migrating ideal-virtual-task selections
+// to underloaded servers (or back to the queue).
+type MLFH struct {
+	Params PriorityParams
+	// PS is p_s, the fraction of lowest-priority tasks eligible for
+	// migration when a GPU is overloaded (§3.3.3; default 0.10).
+	PS float64
+	// DisableBandwidth drops the communication term from placement and
+	// migration choices (Fig 7 ablation).
+	DisableBandwidth bool
+	// DisableMigration turns off overload handling entirely (Fig 8
+	// ablation).
+	DisableMigration bool
+	// MaxMigrationsPerServer bounds work per round (default 4).
+	MaxMigrationsPerServer int
+	// BWWeight scales the communication-affinity dimension of the RIAL
+	// distance relative to the four utilisation dimensions (default 2):
+	// co-locating a job's communicating tasks removes cross-server
+	// traffic for every remaining iteration, so it outweighs a small
+	// utilisation imbalance.
+	BWWeight float64
+
+	// lastPriorities is kept for introspection and reuse by MLFS/MLF-C.
+	lastPriorities *Priorities
+}
+
+// NewMLFH returns an MLF-H scheduler with the paper's defaults.
+func NewMLFH() *MLFH {
+	return &MLFH{Params: DefaultPriorityParams(), PS: 0.10, MaxMigrationsPerServer: 4, BWWeight: 2}
+}
+
+// Name implements sched.Scheduler.
+func (m *MLFH) Name() string { return "mlf-h" }
+
+// LastPriorities returns the priorities computed by the most recent
+// round (nil before the first round).
+func (m *MLFH) LastPriorities() *Priorities { return m.lastPriorities }
+
+// Schedule implements sched.Scheduler.
+func (m *MLFH) Schedule(ctx *sched.Context) {
+	prios := ComputePriorities(ctx, m.Params)
+	m.lastPriorities = prios
+	m.placeQueue(ctx, prios)
+	if !m.DisableMigration {
+		m.relieveOverloads(ctx, prios)
+		// Migrations may have freed space for still-queued tasks.
+		if ctx.NumWaiting() > 0 {
+			m.placeQueue(ctx, prios)
+		}
+	}
+}
+
+// placeQueue drains the waiting queue in priority order, gang-placing
+// each job's queued tasks (§3.3.2: pick tasks one by one from the queue
+// and assign to underloaded nodes until none remain).
+func (m *MLFH) placeQueue(ctx *sched.Context, prios *Priorities) {
+	jobs := ctx.PendingJobs()
+	// Order jobs by the maximum priority among their queued tasks; the
+	// queue is task-ordered in the paper, and a job's highest-priority
+	// task is what reaches the queue head.
+	type scored struct {
+		j *job.Job
+		p float64
+	}
+	scoredJobs := make([]scored, 0, len(jobs))
+	for _, j := range jobs {
+		scoredJobs = append(scoredJobs, scored{j, prios.JobOrder(ctx.QueuedTasksOf(j))})
+	}
+	sort.SliceStable(scoredJobs, func(i, k int) bool {
+		if scoredJobs[i].p != scoredJobs[k].p {
+			return scoredJobs[i].p > scoredJobs[k].p
+		}
+		return scoredJobs[i].j.ID < scoredJobs[k].j.ID
+	})
+	var q queue.Queue
+	for _, s := range scoredJobs {
+		// Within the gang, place higher-priority tasks first so they get
+		// the best servers (priority orders the queue, §3.3.1).
+		q.Rebuild(ctx.QueuedTasksOf(s.j), prios.Of)
+		tasks := make([]*job.Task, 0, q.Len())
+		for _, it := range q.Drain() {
+			tasks = append(tasks, it.Task)
+		}
+		ctx.PlaceGang(tasks, m.ChooseServer)
+	}
+}
+
+// CommVolumeWith returns the per-iteration communication volume between
+// task t and the tasks currently placed on server si (u_BW of §3.3.2):
+// co-locating heavy communicators saves bandwidth. Besides direct DAG
+// edges, same-job tasks attract each other with the parameter-
+// synchronisation volume they exchange: all-reduce members form a ring,
+// and PS-structure workers funnel into the same parameter server, so
+// packing a job together always removes cross-server traffic.
+func CommVolumeWith(ctx *sched.Context, t *job.Task, si int) float64 {
+	var vol float64
+	j := t.Job
+	onServer := func(other *job.Task) bool {
+		p := ctx.Cluster.Lookup(other.ID.Ref())
+		return p != nil && p.Server == si
+	}
+	for _, pi := range t.Parents() {
+		if onServer(j.Tasks[pi]) {
+			if t.IsPS {
+				vol += j.CommVolPS
+			} else {
+				vol += j.CommVolWW
+			}
+		}
+	}
+	for _, ci := range t.Children() {
+		child := j.Tasks[ci]
+		if onServer(child) {
+			if child.IsPS {
+				vol += j.CommVolPS
+			} else {
+				vol += j.CommVolWW
+			}
+		}
+	}
+	// Parameter-synchronisation affinity for same-job tasks without a
+	// direct edge (same-stage siblings, other replicas).
+	syncVol := 0.5 * j.CommVolWW
+	if j.Comm == job.ParameterServer {
+		syncVol = 0.25 * j.CommVolPS
+	}
+	adjacent := make(map[int]bool, len(t.Parents())+len(t.Children()))
+	for _, pi := range t.Parents() {
+		adjacent[pi] = true
+	}
+	for _, ci := range t.Children() {
+		adjacent[ci] = true
+	}
+	for _, other := range j.Tasks {
+		if other == t || adjacent[other.Index] {
+			continue
+		}
+		if onServer(other) {
+			vol += syncVol
+		}
+	}
+	return vol
+}
+
+// ChooseServer is the RIAL-style ideal-virtual-server selection of
+// §3.3.2: build the ideal vector (per-resource minima over underloaded
+// servers, maximal task communication affinity, zero movement
+// degradation) and pick the candidate closest to it that fits.
+func (m *MLFH) ChooseServer(ctx *sched.Context, t *job.Task, candidates []int) (int, int, bool) {
+	// Ideal utilisation components: minimum across candidates.
+	var ideal cluster.Vec
+	for r := range ideal {
+		ideal[r] = math.Inf(1)
+	}
+	fit := candidates[:0:0]
+	for _, si := range candidates {
+		s := ctx.Cluster.Server(si)
+		dev := s.LeastLoadedDevice()
+		if !ctx.Cluster.Fits(si, dev.ID(), t.Demand, t.GPUShare, ctx.HR) {
+			continue
+		}
+		fit = append(fit, si)
+		u := s.Utilization()
+		for r := range ideal {
+			if u[r] < ideal[r] {
+				ideal[r] = u[r]
+			}
+		}
+	}
+	if len(fit) == 0 {
+		return 0, 0, false
+	}
+	// Communication affinity: ideal is the maximum volume any candidate
+	// offers.
+	comms := make([]float64, len(fit))
+	var maxComm float64
+	if !m.DisableBandwidth {
+		for i, si := range fit {
+			comms[i] = CommVolumeWith(ctx, t, si)
+			if comms[i] > maxComm {
+				maxComm = comms[i]
+			}
+		}
+	}
+	bwWeight := m.BWWeight
+	if bwWeight <= 0 {
+		bwWeight = 2
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, si := range fit {
+		u := ctx.Cluster.Server(si).Utilization()
+		d := u.Distance(ideal)
+		if maxComm > 0 {
+			// Extra dimension: distance from the ideal (max) affinity.
+			gap := bwWeight * (maxComm - comms[i]) / maxComm
+			d = math.Sqrt(d*d + gap*gap)
+		}
+		// Movement degradation q_{k,V} is zero for queue placements and
+		// identical across destinations for migrations, so it does not
+		// enter the distance here.
+		if d < bestDist {
+			best, bestDist = si, d
+		}
+	}
+	return best, ctx.Cluster.Server(best).LeastLoadedDevice().ID(), true
+}
+
+// relieveOverloads walks the overloaded servers and moves out
+// ideal-virtual-task selections until each is relieved (§3.3.3).
+//
+// Deviation from the paper, documented in DESIGN.md: when no underloaded
+// destination exists the paper moves the victim back to the queue. Under
+// this simulator's synchronous-training gang semantics an unplaced task
+// stalls its whole job while the job's other tasks keep their GPUs, which
+// is strictly harmful — so here victims stay put until a destination
+// exists. The paper's per-task execution model tolerates requeueing.
+func (m *MLFH) relieveOverloads(ctx *sched.Context, prios *Priorities) {
+	maxMig := m.MaxMigrationsPerServer
+	if maxMig <= 0 {
+		maxMig = 4
+	}
+	for _, si := range ctx.Cluster.Overloaded(ctx.HR) {
+		tried := make(map[job.TaskID]bool)
+		for moved := 0; moved < maxMig; moved++ {
+			s := ctx.Cluster.Server(si)
+			if !s.Overloaded(ctx.HR) {
+				break
+			}
+			cand := ctx.Cluster.Underloaded(ctx.HR)
+			if len(cand) == 0 {
+				break
+			}
+			victim := m.SelectMigrationTask(ctx, prios, si)
+			if victim == nil || tried[victim.ID] {
+				break
+			}
+			tried[victim.ID] = true
+			dst, dev, ok := m.ChooseServer(ctx, victim, cand)
+			if !ok {
+				break
+			}
+			if err := ctx.Migrate(victim, dst, dev); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// SelectMigrationTask picks the task to move out of overloaded server si:
+// the one closest to the ideal virtual task (max utilisation on
+// overloaded resources, min on underloaded ones, zero communication with
+// the server), restricted to the p_s lowest-priority tasks on overloaded
+// GPUs when any GPU is overloaded (§3.3.3).
+func (m *MLFH) SelectMigrationTask(ctx *sched.Context, prios *Priorities, si int) *job.Task {
+	s := ctx.Cluster.Server(si)
+	placements := s.Tasks()
+	if len(placements) == 0 {
+		return nil
+	}
+	tasks := make([]*job.Task, 0, len(placements))
+	byTask := make(map[job.TaskID]*cluster.Placement, len(placements))
+	for _, p := range placements {
+		t := ctx.TaskByRef(p.Task)
+		if t == nil {
+			continue
+		}
+		tasks = append(tasks, t)
+		byTask[t.ID] = p
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+
+	// Restrict to low-priority tasks on overloaded GPUs when present.
+	var overDev []int
+	for _, d := range s.Devices() {
+		if d.Utilization() > ctx.HR {
+			overDev = append(overDev, d.ID())
+		}
+	}
+	candidates := tasks
+	if len(overDev) > 0 {
+		onOver := make([]*job.Task, 0, len(tasks))
+		for _, t := range tasks {
+			p := byTask[t.ID]
+			for _, d := range overDev {
+				if p.Device == d {
+					onOver = append(onOver, t)
+					break
+				}
+			}
+		}
+		if len(onOver) > 0 {
+			sort.SliceStable(onOver, func(i, k int) bool {
+				pi, pk := prios.Of(onOver[i]), prios.Of(onOver[k])
+				if pi != pk {
+					return pi < pk
+				}
+				return onOver[i].ID < onOver[k].ID
+			})
+			n := int(math.Ceil(m.PS * float64(len(onOver))))
+			if n < 1 {
+				n = 1
+			}
+			candidates = onOver[:n]
+		}
+	} else {
+		// No overloaded GPU: all tasks are eligible but still prefer the
+		// lowest-priority p_s fraction to protect accuracy and JCT.
+		sorted := append([]*job.Task(nil), tasks...)
+		sort.SliceStable(sorted, func(i, k int) bool {
+			pi, pk := prios.Of(sorted[i]), prios.Of(sorted[k])
+			if pi != pk {
+				return pi < pk
+			}
+			return sorted[i].ID < sorted[k].ID
+		})
+		n := int(math.Ceil(m.PS * float64(len(sorted))))
+		if n < 1 {
+			n = 1
+		}
+		candidates = sorted[:n]
+	}
+
+	// Ideal virtual task vector (§3.3.3).
+	over := map[cluster.Resource]bool{}
+	for _, r := range s.OverloadedResources(ctx.HR) {
+		over[r] = true
+	}
+	var ideal cluster.Vec
+	for r := range ideal {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range candidates {
+			u := byTask[t.ID].Demand.Div(s.Capacity())
+			if u[r] < lo {
+				lo = u[r]
+			}
+			if u[r] > hi {
+				hi = u[r]
+			}
+		}
+		if over[cluster.Resource(r)] {
+			ideal[r] = hi
+		} else {
+			ideal[r] = lo
+		}
+	}
+	var best *job.Task
+	bestDist := math.Inf(1)
+	var maxComm float64
+	comms := make(map[job.TaskID]float64, len(candidates))
+	if !m.DisableBandwidth {
+		for _, t := range candidates {
+			v := CommVolumeWith(ctx, t, si)
+			comms[t.ID] = v
+			if v > maxComm {
+				maxComm = v
+			}
+		}
+	}
+	for _, t := range candidates {
+		u := byTask[t.ID].Demand.Div(s.Capacity())
+		d := u.Distance(ideal)
+		if maxComm > 0 {
+			// u_BW,v = 0 is ideal: migrating a task that talks to this
+			// server would add cross-server traffic.
+			gap := comms[t.ID] / maxComm
+			d = math.Sqrt(d*d + gap*gap)
+		}
+		if d < bestDist || (d == bestDist && (best == nil || t.ID < best.ID)) {
+			best, bestDist = t, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,391 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/learncurve"
+)
+
+func validCurve() learncurve.Curve {
+	return learncurve.Curve{L0: 2, Floor: 0.1, Decay: 1, AccMax: 0.9, Rate: 0.02}
+}
+
+func buildJob(t *testing.T, spec Spec) *Job {
+	t.Helper()
+	var next TaskID
+	if spec.Curve == (learncurve.Curve{}) {
+		spec.Curve = validCurve()
+	}
+	j, err := Build(spec, &next)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return j
+}
+
+func TestBuildSequentialChain(t *testing.T) {
+	j := buildJob(t, Spec{
+		ID: 1, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 4, DataParallel: 1, MaxIterations: 10, IterSec: 4, TotalParams: 8,
+	})
+	if j.NumTasks() != 4 {
+		t.Fatalf("NumTasks = %d, want 4", j.NumTasks())
+	}
+	if len(j.Stages()) != 4 {
+		t.Fatalf("stages = %d, want 4 (sequential chain)", len(j.Stages()))
+	}
+	// Chain: 0 -> 1 -> 2 -> 3.
+	for i := 0; i < 3; i++ {
+		ch := j.Tasks[i].Children()
+		if len(ch) != 1 || ch[0] != i+1 {
+			t.Fatalf("task %d children = %v", i, ch)
+		}
+	}
+	if len(j.Tasks[3].Children()) != 0 {
+		t.Fatal("last task must have no children")
+	}
+	// Even partitions: each 2M params, 1s compute.
+	for _, task := range j.Tasks {
+		if math.Abs(task.Params-2) > 1e-9 || math.Abs(task.ComputeSec-1) > 1e-9 {
+			t.Fatalf("partition split wrong: %+v", task)
+		}
+		if math.Abs(task.NormSize()-0.25) > 1e-9 {
+			t.Fatalf("NormSize = %v, want 0.25", task.NormSize())
+		}
+	}
+}
+
+func TestBuildLayeredDAG(t *testing.T) {
+	j := buildJob(t, Spec{
+		ID: 2, Family: learncurve.ResNet, Comm: AllReduce,
+		ModelParallel: 8, MaxIterations: 10, IterSec: 8, TotalParams: 8,
+	})
+	// layeredShape(8): width 2, levels 4.
+	if len(j.Stages()) != 4 {
+		t.Fatalf("stages = %d, want 4", len(j.Stages()))
+	}
+	for s, stage := range j.Stages() {
+		if len(stage) != 2 {
+			t.Fatalf("stage %d width = %d, want 2", s, len(stage))
+		}
+	}
+	// Dense level-to-level edges: each non-final task has 2 children.
+	for _, task := range j.Tasks {
+		want := 2
+		if task.Stage == 3 {
+			want = 0
+		}
+		if len(task.Children()) != want {
+			t.Fatalf("task %d (stage %d) children = %d, want %d",
+				task.Index, task.Stage, len(task.Children()), want)
+		}
+	}
+}
+
+func TestBuildParameterServer(t *testing.T) {
+	j := buildJob(t, Spec{
+		ID: 3, Family: learncurve.MLP, Comm: ParameterServer,
+		ModelParallel: 2, DataParallel: 3, MaxIterations: 5, IterSec: 2, TotalParams: 4,
+	})
+	// 3 replicas x 2 partitions + 1 PS = 7 tasks.
+	if j.NumTasks() != 7 {
+		t.Fatalf("NumTasks = %d, want 7", j.NumTasks())
+	}
+	var ps *Task
+	for _, task := range j.Tasks {
+		if task.IsPS {
+			if ps != nil {
+				t.Fatal("multiple PS tasks")
+			}
+			ps = task
+		}
+	}
+	if ps == nil {
+		t.Fatal("no PS task")
+	}
+	if ps.GPUShare != 0 {
+		t.Fatal("PS must not consume GPU")
+	}
+	if len(ps.Parents()) != 3 {
+		t.Fatalf("PS parents = %d, want 3 (one final worker per replica)", len(ps.Parents()))
+	}
+	if ps.Stage != len(j.Stages())-1 {
+		t.Fatal("PS must be the last stage")
+	}
+	if ps.NormSize() != 1 {
+		t.Fatal("PS NormSize must be 1 (holds the full model)")
+	}
+	if j.GPUsRequested() != 6 {
+		t.Fatalf("GPUsRequested = %d, want 6", j.GPUsRequested())
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	var next TaskID
+	_, err := Build(Spec{ID: 4, Family: learncurve.SVM, ModelParallel: 4, Curve: validCurve()}, &next)
+	if err == nil {
+		t.Fatal("SVM with model parallelism must be rejected (§4.1)")
+	}
+	_, err = Build(Spec{ID: 5, Family: learncurve.MLP, ModelParallel: 2,
+		PartitionWeights: []float64{1, 2, 3}, Curve: validCurve()}, &next)
+	if err == nil {
+		t.Fatal("weight/partition count mismatch must be rejected")
+	}
+	_, err = Build(Spec{ID: 6, Family: learncurve.MLP, ModelParallel: 2,
+		PartitionWeights: []float64{1, -1}, Curve: validCurve()}, &next)
+	if err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+	_, err = Build(Spec{ID: 7, Family: learncurve.MLP}, &next)
+	if err == nil {
+		t.Fatal("zero curve must be rejected")
+	}
+}
+
+func TestTaskIDsGloballyUnique(t *testing.T) {
+	var next TaskID
+	seen := map[TaskID]bool{}
+	for i := 0; i < 5; i++ {
+		j, err := Build(Spec{ID: ID(i), Family: learncurve.ResNet, Comm: ParameterServer,
+			ModelParallel: 4, DataParallel: 2, Curve: validCurve()}, &next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range j.Tasks {
+			if seen[task.ID] {
+				t.Fatalf("duplicate task id %d", task.ID)
+			}
+			seen[task.ID] = true
+		}
+	}
+}
+
+func TestPartitionWeightsSkew(t *testing.T) {
+	j := buildJob(t, Spec{
+		ID: 8, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 2, IterSec: 3, TotalParams: 30,
+		PartitionWeights: []float64{1, 2},
+	})
+	if math.Abs(j.Tasks[0].Params-10) > 1e-9 || math.Abs(j.Tasks[1].Params-20) > 1e-9 {
+		t.Fatalf("params = %v, %v", j.Tasks[0].Params, j.Tasks[1].Params)
+	}
+	if math.Abs(j.Tasks[0].ComputeSec-1) > 1e-9 || math.Abs(j.Tasks[1].ComputeSec-2) > 1e-9 {
+		t.Fatalf("compute = %v, %v", j.Tasks[0].ComputeSec, j.Tasks[1].ComputeSec)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	// Sequential 4-partition chain with IterSec 4: critical path = 4.
+	j := buildJob(t, Spec{ID: 9, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 4, IterSec: 4, TotalParams: 4})
+	if math.Abs(j.CriticalPathSec()-4) > 1e-9 {
+		t.Fatalf("CriticalPathSec = %v, want 4", j.CriticalPathSec())
+	}
+	// Layered 8 partitions (width 2, 4 levels), IterSec 8: each task 1s,
+	// critical path = 4 levels x 1s.
+	l := buildJob(t, Spec{ID: 10, Family: learncurve.ResNet, Comm: AllReduce,
+		ModelParallel: 8, IterSec: 8, TotalParams: 8})
+	if math.Abs(l.CriticalPathSec()-4) > 1e-9 {
+		t.Fatalf("layered CriticalPathSec = %v, want 4", l.CriticalPathSec())
+	}
+	if math.Abs(l.TailSec(1)-2) > 1e-9 {
+		t.Fatalf("TailSec(1) = %v, want 2", l.TailSec(1))
+	}
+	if l.TailSec(3) != 0 {
+		t.Fatal("TailSec(last) must be 0")
+	}
+}
+
+func TestEstimateRuntime(t *testing.T) {
+	j := buildJob(t, Spec{ID: 11, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 2, IterSec: 2, TotalParams: 2, MaxIterations: 50})
+	if got := j.EstimateRuntime(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("EstimateRuntime = %v, want 100", got)
+	}
+	if j.EstimatedRuntime != 100 {
+		t.Fatal("EstimatedRuntime field not set")
+	}
+}
+
+func TestProgressAndIteration(t *testing.T) {
+	j := buildJob(t, Spec{ID: 12, Family: learncurve.MLP, MaxIterations: 10})
+	if j.Iteration() != 1 || j.CompletedIterations() != 0 {
+		t.Fatalf("fresh job iter=%d completed=%d", j.Iteration(), j.CompletedIterations())
+	}
+	j.Progress = 3.7
+	if j.Iteration() != 4 || j.CompletedIterations() != 3 {
+		t.Fatalf("iter=%d completed=%d", j.Iteration(), j.CompletedIterations())
+	}
+	j.Progress = 12 // overshoot clamps
+	if j.Iteration() != 10 || j.CompletedIterations() != 10 {
+		t.Fatalf("overshoot iter=%d completed=%d", j.Iteration(), j.CompletedIterations())
+	}
+	if j.RemainingIterations() != 0 {
+		t.Fatal("remaining must clamp to 0")
+	}
+	if f := j.ProgressFraction(); f != 1 {
+		t.Fatalf("ProgressFraction = %v", f)
+	}
+}
+
+func TestJobOutcomeHelpers(t *testing.T) {
+	j := buildJob(t, Spec{ID: 13, Family: learncurve.MLP, MaxIterations: 10})
+	j.Arrival, j.Deadline = 100, 500
+	if j.Done() {
+		t.Fatal("pending job is not done")
+	}
+	j.State = Finished
+	j.FinishTime = 400
+	j.AccuracyAtDeadline = 0.8
+	j.AccuracyTarget = 0.75
+	if !j.Done() || !j.DeadlineMet() || !j.AccuracyMet() {
+		t.Fatal("outcome helpers wrong")
+	}
+	if j.JCT() != 300 {
+		t.Fatalf("JCT = %v", j.JCT())
+	}
+	j.FinishTime = 600
+	if j.DeadlineMet() {
+		t.Fatal("deadline not met at 600 > 500")
+	}
+}
+
+func TestTaskDeadlineAndRemaining(t *testing.T) {
+	j := buildJob(t, Spec{ID: 14, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 2, IterSec: 2, TotalParams: 2, MaxIterations: 10})
+	j.Deadline = 1000
+	first, last := j.Tasks[0], j.Tasks[1]
+	// first's downstream stage costs 1s x 10 remaining iterations.
+	if got := j.TaskDeadline(first); math.Abs(got-990) > 1e-9 {
+		t.Fatalf("TaskDeadline(first) = %v, want 990", got)
+	}
+	if got := j.TaskDeadline(last); got != 1000 {
+		t.Fatalf("TaskDeadline(last) = %v, want 1000", got)
+	}
+	// Remaining = remaining iterations x critical path (2s): 10 x 2 = 20.
+	if got := j.TaskRemaining(first); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("TaskRemaining = %v, want 20", got)
+	}
+	if got := j.TaskRemaining(last); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("TaskRemaining must be uniform across the gang, got %v", got)
+	}
+	j.Progress = 5
+	if got := j.TaskRemaining(first); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("TaskRemaining after progress = %v, want 10", got)
+	}
+}
+
+func TestDescendantCount(t *testing.T) {
+	// Sequential chain of 4: descendants 3,2,1,0.
+	j := buildJob(t, Spec{ID: 15, Family: learncurve.AlexNet, Comm: AllReduce,
+		ModelParallel: 4, TotalParams: 4})
+	want := []int{3, 2, 1, 0}
+	for i, w := range want {
+		if got := j.DescendantCount()[i]; got != w {
+			t.Fatalf("descendants[%d] = %d, want %d", i, got, w)
+		}
+	}
+	// Layered width 2 x 2 levels: level-0 tasks have 2 descendants each
+	// (both level-1 tasks), no double counting.
+	l := buildJob(t, Spec{ID: 16, Family: learncurve.ResNet, Comm: AllReduce,
+		ModelParallel: 4, TotalParams: 4})
+	d := l.DescendantCount()
+	for _, ti := range l.Stages()[0] {
+		if d[ti] != 2 {
+			t.Fatalf("layered descendants = %d, want 2", d[ti])
+		}
+	}
+}
+
+func TestTotalDemand(t *testing.T) {
+	j := buildJob(t, Spec{ID: 17, Family: learncurve.MLP, Comm: AllReduce, ModelParallel: 2,
+		CPUPerTask: 3, MemPerTask: 5, BWPerTask: 7})
+	d := j.TotalDemand()
+	if d[cluster.ResGPU] != 1.5 || d[cluster.ResCPU] != 6 || d[cluster.ResMemory] != 10 || d[cluster.ResBandwidth] != 14 {
+		t.Fatalf("TotalDemand = %v", d)
+	}
+}
+
+func TestLayeredShape(t *testing.T) {
+	cases := []struct{ p, w, l int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {32, 4, 8}, {6, 2, 3},
+	}
+	for _, c := range cases {
+		w, l := layeredShape(c.p)
+		if w != c.w || l != c.l {
+			t.Fatalf("layeredShape(%d) = (%d,%d), want (%d,%d)", c.p, w, l, c.w, c.l)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{Pending: "pending", Running: "running",
+		Finished: "finished", Stopped: "stopped", State(9): "unknown"} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q", s, s.String())
+		}
+	}
+	if ParameterServer.String() != "ps" || AllReduce.String() != "allreduce" {
+		t.Fatal("comm structure names")
+	}
+}
+
+// Property: for any D, P drawn from the paper's ranges the built DAG
+// validates, stages partition tasks, and compute/params conserve totals.
+func TestBuildProperties(t *testing.T) {
+	prop := func(dRaw, pRaw uint8, famRaw uint8, ps bool) bool {
+		gpus := []int{1, 2, 4, 8, 16, 32}
+		d := 1 + int(dRaw)%4
+		p := gpus[int(pRaw)%len(gpus)]
+		fam := learncurve.Family(int(famRaw) % int(learncurve.NumFamilies))
+		if !fam.ModelParallel() {
+			p = 1
+		}
+		comm := AllReduce
+		if ps {
+			comm = ParameterServer
+		}
+		var next TaskID
+		j, err := Build(Spec{ID: 1, Family: fam, Comm: comm, DataParallel: d,
+			ModelParallel: p, IterSec: 10, TotalParams: 100, MaxIterations: 5,
+			Curve: validCurve()}, &next)
+		if err != nil {
+			return false
+		}
+		if err := j.Validate(); err != nil {
+			return false
+		}
+		wantTasks := d * p
+		if ps {
+			wantTasks++
+		}
+		if j.NumTasks() != wantTasks {
+			return false
+		}
+		// Compute conservation per replica: partition computes sum to IterSec.
+		var compute float64
+		for _, task := range j.Tasks {
+			if !task.IsPS && task.Replica == 0 {
+				compute += task.ComputeSec
+			}
+		}
+		return math.Abs(compute-10) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	if Ring.String() != "ring" || Torus2D.String() != "2d-torus" {
+		t.Fatal("topology names")
+	}
+	j := buildJob(t, Spec{ID: 99, Family: learncurve.SVM, Comm: AllReduce,
+		DataParallel: 2, Topology: Torus2D})
+	if j.Topology != Torus2D {
+		t.Fatal("topology not propagated")
+	}
+}

@@ -1,0 +1,239 @@
+package learncurve
+
+import "math"
+
+// Predictor implements the weighted probabilistic learning-curve model of
+// §3.5 (after Domhan et al.): it observes the accuracy after each executed
+// iteration and extrapolates the curve to predict accuracy at any future
+// iteration, together with a confidence value.
+//
+// The fit is a recency-weighted least-squares fit of
+//
+//	a(i) = amax · (1 − e^(−r·i))
+//
+// over a grid of rates r, with amax in closed form per rate. Inputs are
+// the number of iterations executed and the accuracy after each — exactly
+// the inputs the paper lists for the model.
+type Predictor struct {
+	iters []int
+	accs  []float64
+
+	// Recency controls the weighting w_j = Recency^(n-1-j): 1 weights all
+	// observations equally; values < 1 emphasise recent iterations (the
+	// "weighted" part of the paper's model). Default 0.97.
+	Recency float64
+}
+
+// Observe appends the accuracy measured after iteration iter. Observations
+// must be appended in increasing iteration order; out-of-order points are
+// ignored.
+func (p *Predictor) Observe(iter int, acc float64) {
+	if len(p.iters) > 0 && iter <= p.iters[len(p.iters)-1] {
+		return
+	}
+	p.iters = append(p.iters, iter)
+	p.accs = append(p.accs, acc)
+}
+
+// NumObservations returns how many points the predictor has seen.
+func (p *Predictor) NumObservations() int { return len(p.iters) }
+
+// LastIteration returns the latest observed iteration (0 when empty).
+func (p *Predictor) LastIteration() int {
+	if len(p.iters) == 0 {
+		return 0
+	}
+	return p.iters[len(p.iters)-1]
+}
+
+// Fit returns the fitted (amax, rate) and a confidence in (0, 1]. It
+// requires at least three observations; ok is false otherwise.
+func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
+	n := len(p.iters)
+	if n < 3 {
+		return 0, 0, 0, false
+	}
+	rec := p.Recency
+	if rec <= 0 || rec > 1 {
+		rec = 0.97
+	}
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = math.Pow(rec, float64(n-1-j))
+	}
+	bestSSE := math.Inf(1)
+	// Log-spaced rate grid covering very slow to very fast convergence.
+	for r := 1e-4; r <= 2.0; r *= 1.25 {
+		var num, den float64
+		for j, it := range p.iters {
+			f := 1 - math.Exp(-r*float64(it))
+			num += w[j] * p.accs[j] * f
+			den += w[j] * f * f
+		}
+		if den == 0 {
+			continue
+		}
+		a := num / den
+		if a <= 0 || a > 1.2 {
+			continue
+		}
+		var sse, wsum float64
+		for j, it := range p.iters {
+			f := a * (1 - math.Exp(-r*float64(it)))
+			d := p.accs[j] - f
+			sse += w[j] * d * d
+			wsum += w[j]
+		}
+		sse /= wsum
+		if sse < bestSSE {
+			bestSSE, amax, rate = sse, a, r
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		return 0, 0, 0, false
+	}
+	// Confidence shrinks with the (weighted RMS) residual relative to the
+	// fitted asymptote, and grows with sample count.
+	rms := math.Sqrt(bestSSE)
+	confidence = (1 - math.Min(1, rms/math.Max(amax, 1e-9))) * (1 - 1/float64(n))
+	if confidence < 0 {
+		confidence = 0
+	}
+	return amax, rate, confidence, true
+}
+
+// Predict extrapolates the accuracy at iteration iter. ok is false when
+// the predictor has too few observations to fit.
+func (p *Predictor) Predict(iter int) (acc, confidence float64, ok bool) {
+	amax, rate, conf, ok := p.Fit()
+	if !ok {
+		return 0, 0, false
+	}
+	a := amax * (1 - math.Exp(-rate*float64(iter)))
+	return math.Max(0, math.Min(1, a)), conf, true
+}
+
+// StopOption is the user choice of §3.5: how a job's training run may be
+// terminated.
+type StopOption int
+
+const (
+	// RunToMaxIterations is option (i): run exactly the iterations the
+	// user asked for.
+	RunToMaxIterations StopOption = iota
+	// OptStop is option (ii): stop when the achieved accuracy equals or is
+	// close to the predicted maximum accuracy.
+	OptStop
+	// StopAtTarget is option (iii): stop as soon as the job's required
+	// accuracy is achieved.
+	StopAtTarget
+)
+
+// String names the option.
+func (o StopOption) String() string {
+	switch o {
+	case RunToMaxIterations:
+		return "run-to-max"
+	case OptStop:
+		return "optstop"
+	case StopAtTarget:
+		return "stop-at-target"
+	default:
+		return "unknown"
+	}
+}
+
+// Downgrade returns the next more aggressive option (i -> ii -> iii); iii
+// downgrades to itself. MLF-C applies this when the system is overloaded
+// and the user permitted the switch (§3.5).
+func (o StopOption) Downgrade() StopOption {
+	switch o {
+	case RunToMaxIterations:
+		return OptStop
+	default:
+		return StopAtTarget
+	}
+}
+
+// StopDecision configures ShouldStop.
+type StopDecision struct {
+	Option StopOption
+	// Target is the job's required accuracy (used by StopAtTarget and by
+	// the hopeless-job early exit).
+	Target float64
+	// MaxIterations is the user-specified iteration budget I_max.
+	MaxIterations int
+	// ConfidenceThreshold gates the hopeless-job early stop: training of a
+	// job predicted to miss Target at I_max stops only when the prediction
+	// confidence exceeds this (§3.5). Default 0.8.
+	ConfidenceThreshold float64
+	// NearMaxFraction is how close to the predicted maximum accuracy
+	// OptStop requires before stopping. Default 0.99.
+	NearMaxFraction float64
+	// MinObservations gates the hopeless-job early exit: extrapolations
+	// from fewer points are too unreliable to kill a job over.
+	// Default 12.
+	MinObservations int
+}
+
+// ShouldStop decides whether a job at iteration iter with achieved
+// accuracy achieved should stop training now, per the policy in §3.5.
+func (d StopDecision) ShouldStop(p *Predictor, iter int, achieved float64) bool {
+	if d.MaxIterations > 0 && iter >= d.MaxIterations {
+		return true
+	}
+	conf := d.ConfidenceThreshold
+	if conf == 0 {
+		conf = 0.8
+	}
+	nearMax := d.NearMaxFraction
+	if nearMax == 0 {
+		nearMax = 0.99
+	}
+	minObs := d.MinObservations
+	if minObs == 0 {
+		minObs = 12
+	}
+	// Hopeless: the curve will confidently not come close to the target by
+	// I_max. Gated on sample count and a margin so early-training
+	// mis-extrapolations don't kill viable jobs.
+	hopeless := func() bool {
+		if d.Target <= 0 || p.NumObservations() < minObs {
+			return false
+		}
+		// Extrapolating a slow curve from its near-linear head badly
+		// underestimates the asymptote; require the observations to cover
+		// a third of the budget before a job can be written off.
+		if d.MaxIterations > 0 && p.LastIteration() < d.MaxIterations/3 {
+			return false
+		}
+		_, _, c, ok := p.Fit()
+		if !ok || c <= conf {
+			return false
+		}
+		predicted, _, _ := p.Predict(d.MaxIterations)
+		return predicted < 0.9*d.Target
+	}
+	switch d.Option {
+	case RunToMaxIterations:
+		return false
+	case OptStop:
+		if hopeless() {
+			return true
+		}
+		amax, _, c, ok := p.Fit()
+		if !ok || p.NumObservations() < minObs {
+			return false
+		}
+		// Converged: achieved accuracy is within NearMaxFraction of the
+		// predicted asymptote.
+		return c > conf && achieved >= nearMax*amax
+	case StopAtTarget:
+		if d.Target > 0 && achieved >= d.Target {
+			return true
+		}
+		return hopeless()
+	default:
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+// Package metrics turns finished simulation state into the quantities the
+// paper's evaluation reports (Figs. 4–9): average JCT, makespan, waiting
+// time, deadline/accuracy guarantee ratios, average accuracy by deadline,
+// bandwidth cost and scheduler time overhead.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlfs/internal/job"
+)
+
+// Counters are the event totals the simulator accumulates during a run.
+type Counters struct {
+	BandwidthMB         float64 // cross-server training traffic + migration state
+	MigrationMB         float64 // migration component of BandwidthMB
+	Migrations          int
+	Evictions           int
+	OverloadOccurrences int // server-ticks spent overloaded (Fig 8a)
+	SchedRounds         int
+	SchedSeconds        float64 // total wall-clock spent inside Schedule()
+	SimulatedSec        float64
+	Truncated           int // jobs cut off by the simulation horizon
+	Rejected            int // jobs larger than the whole cluster
+}
+
+// Result is the full outcome of one simulation run.
+type Result struct {
+	Scheduler string
+	Jobs      int
+
+	AvgJCTSec   float64
+	MakespanSec float64
+	AvgWaitSec  float64
+	AvgAccuracy float64 // by deadline (Fig 4e)
+
+	DeadlineRatio       float64 // Fig 4c
+	AccuracyRatio       float64 // Fig 4f
+	UrgentDeadlineRatio float64 // Fig 6 (urgency > urgentThreshold)
+
+	JCTs []float64 // per finished job, seconds (Fig 4a CDF)
+
+	Counters Counters
+}
+
+// UrgentThreshold is the urgency level above which a job counts as urgent
+// (§4.2.2: levels drawn from [1,10], urgent when > 8).
+const UrgentThreshold = 8
+
+// Compute summarises jobs plus counters into a Result. Jobs that never
+// finished (truncated) count against every ratio and contribute their
+// elapsed time as JCT, so truncation can only hurt a scheduler, never
+// flatter it.
+func Compute(scheduler string, jobs []*job.Job, c Counters) *Result {
+	r := &Result{Scheduler: scheduler, Jobs: len(jobs), Counters: c}
+	if len(jobs) == 0 {
+		return r
+	}
+	var (
+		sumJCT, sumWait, sumAcc  float64
+		deadlineOK, accOK        int
+		urgent, urgentOK         int
+		firstArrival, lastFinish = math.Inf(1), 0.0
+	)
+	for _, j := range jobs {
+		jct := j.JCT()
+		r.JCTs = append(r.JCTs, jct)
+		sumJCT += jct
+		sumWait += j.WaitingTime
+		sumAcc += j.AccuracyAtDeadline
+		if j.DeadlineMet() {
+			deadlineOK++
+		}
+		if j.AccuracyMet() {
+			accOK++
+		}
+		if j.Urgency > UrgentThreshold {
+			urgent++
+			if j.DeadlineMet() {
+				urgentOK++
+			}
+		}
+		if j.Arrival < firstArrival {
+			firstArrival = j.Arrival
+		}
+		if j.FinishTime > lastFinish {
+			lastFinish = j.FinishTime
+		}
+	}
+	n := float64(len(jobs))
+	r.AvgJCTSec = sumJCT / n
+	r.AvgWaitSec = sumWait / n
+	r.AvgAccuracy = sumAcc / n
+	r.DeadlineRatio = float64(deadlineOK) / n
+	r.AccuracyRatio = float64(accOK) / n
+	if urgent > 0 {
+		r.UrgentDeadlineRatio = float64(urgentOK) / float64(urgent)
+	}
+	r.MakespanSec = lastFinish - firstArrival
+	sort.Float64s(r.JCTs)
+	return r
+}
+
+// SchedOverheadMS returns the mean scheduler decision time per round in
+// milliseconds (Fig 4h).
+func (r *Result) SchedOverheadMS() float64 {
+	if r.Counters.SchedRounds == 0 {
+		return 0
+	}
+	return r.Counters.SchedSeconds / float64(r.Counters.SchedRounds) * 1000
+}
+
+// CDF evaluates the empirical CDF of sorted values at each point:
+// fraction of values <= point.
+func CDF(sorted []float64, points []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		idx := sort.SearchFloat64s(sorted, math.Nextafter(p, math.Inf(1)))
+		out[i] = float64(idx) / float64(len(sorted))
+	}
+	if len(sorted) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted values using
+// nearest-rank; it is what the paper's error bars report (1st, 50th,
+// 99th).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// FractionUnder returns the fraction of finished jobs with JCT below sec
+// (the paper quotes "% of jobs with JCT less than 100 minutes").
+func (r *Result) FractionUnder(sec float64) float64 {
+	if len(r.JCTs) == 0 {
+		return 0
+	}
+	return CDF(r.JCTs, []float64{sec})[0]
+}
+
+// Improvement returns (y-z)/z, the paper's improvement formula (§4.1),
+// where y is this result's metric and z the baseline's. Positive means y
+// is larger.
+func Improvement(y, z float64) float64 {
+	if z == 0 {
+		return 0
+	}
+	return (y - z) / z
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: jobs=%d avgJCT=%.1fmin makespan=%.1fh wait=%.1fmin acc=%.3f ddl=%.2f accOK=%.2f bw=%.1fGB sched=%.2fms",
+		r.Scheduler, r.Jobs, r.AvgJCTSec/60, r.MakespanSec/3600, r.AvgWaitSec/60,
+		r.AvgAccuracy, r.DeadlineRatio, r.AccuracyRatio,
+		r.Counters.BandwidthMB/1024, r.SchedOverheadMS())
+}

@@ -1,0 +1,155 @@
+// Package nn is a small from-scratch neural-network library: dense
+// matrices, an MLP with ReLU hidden layers, softmax, cross-entropy,
+// SGD/Adam optimisers and the REINFORCE policy-gradient utilities MLF-RL
+// needs (§3.4). Go has no ML ecosystem, so the paper's "DNN as the agent"
+// is built here on the standard library alone.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// AddScaled adds s·other element-wise in place.
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("nn: AddScaled shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// MulVec computes m·x for a column vector x (len Cols), returning a
+// vector of len Rows.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVec got %d elements, want %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT computes mᵀ·y for a column vector y (len Rows), returning a
+// vector of len Cols — the backward pass of MulVec.
+func (m *Matrix) MulVecT(y []float64) []float64 {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecT got %d elements, want %d", len(y), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		yi := y[i]
+		for j, w := range row {
+			out[j] += w * yi
+		}
+	}
+	return out
+}
+
+// XavierInit fills the matrix with Glorot-uniform values.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// Softmax returns the softmax of the logits, numerically stabilised.
+func Softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return nil
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy returns −log p[target], clamped away from infinity.
+func CrossEntropy(probs []float64, target int) float64 {
+	p := probs[target]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+// Argmax returns the index of the largest value (lowest index wins ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SampleCategorical draws an index from the distribution probs using rng.
+func SampleCategorical(rng *rand.Rand, probs []float64) int {
+	x := rng.Float64()
+	for i, p := range probs {
+		if x < p {
+			return i
+		}
+		x -= p
+	}
+	return len(probs) - 1
+}

@@ -1,0 +1,113 @@
+package nn
+
+import "math/rand"
+
+// Policy is a softmax policy over a variable number of candidates. A
+// shared scoring network maps each candidate's feature vector to one
+// logit; the action distribution is the softmax over candidate logits.
+// This is how MLF-RL turns "pick a destination server for this task"
+// into a fixed-size network despite variable cluster/queue sizes (§3.4).
+type Policy struct {
+	Net *Net
+	Opt *Adam
+
+	// Baseline is an exponential moving average of observed rewards used
+	// as the REINFORCE variance-reduction baseline.
+	Baseline     float64
+	BaselineBeta float64
+	baselineInit bool
+
+	rng   *rand.Rand
+	grads *Grads
+}
+
+// NewPolicy builds a scoring MLP inputSize → hidden... → 1 and an Adam
+// optimiser.
+func NewPolicy(inputSize int, hidden []int, lr float64, seed int64) *Policy {
+	sizes := append([]int{inputSize}, hidden...)
+	sizes = append(sizes, 1)
+	net := NewNet(sizes, seed)
+	return &Policy{
+		Net:          net,
+		Opt:          NewAdam(net, lr),
+		BaselineBeta: 0.9,
+		rng:          rand.New(rand.NewSource(seed + 1)),
+		grads:        net.NewGrads(),
+	}
+}
+
+// Flip returns true with probability p, drawn from the policy's own rng
+// (used for epsilon-greedy exploration schedules).
+func (p *Policy) Flip(prob float64) bool { return p.rng.Float64() < prob }
+
+// Probs returns the softmax action distribution over candidates.
+func (p *Policy) Probs(candidates [][]float64) []float64 {
+	logits := make([]float64, len(candidates))
+	for i, f := range candidates {
+		logits[i] = p.Net.Forward(f)[0]
+	}
+	return Softmax(logits)
+}
+
+// Choose picks a candidate: sampled from the distribution when explore is
+// true, greedy argmax otherwise. It returns the index and the
+// distribution it was drawn from.
+func (p *Policy) Choose(candidates [][]float64, explore bool) (int, []float64) {
+	probs := p.Probs(candidates)
+	if explore {
+		return SampleCategorical(p.rng, probs), probs
+	}
+	return Argmax(probs), probs
+}
+
+// applyLogitGrads backpropagates dLoss/dlogit_i for every candidate and
+// takes one Adam step.
+func (p *Policy) applyLogitGrads(candidates [][]float64, dLogits []float64) {
+	p.grads.Zero()
+	for i, f := range candidates {
+		if dLogits[i] == 0 {
+			continue
+		}
+		p.Net.Backprop(f, []float64{dLogits[i]}, p.grads)
+	}
+	p.Opt.Apply(p.Net, p.grads)
+}
+
+// Imitate performs one supervised step pulling the policy toward choosing
+// target (cross-entropy); it returns the loss. MLFS pre-trains MLF-RL on
+// MLF-H's decisions this way before switching over (§3.4: "initially runs
+// MLF-H for a certain time period and uses the data to train").
+func (p *Policy) Imitate(candidates [][]float64, target int) float64 {
+	probs := p.Probs(candidates)
+	loss := CrossEntropy(probs, target)
+	dLogits := make([]float64, len(probs))
+	for i, pr := range probs {
+		dLogits[i] = pr
+	}
+	dLogits[target] -= 1
+	p.applyLogitGrads(candidates, dLogits)
+	return loss
+}
+
+// Reinforce performs one REINFORCE step for a recorded decision: ascend
+// reward·∇log π(chosen). The internal baseline is subtracted and updated
+// with the raw reward.
+func (p *Policy) Reinforce(candidates [][]float64, chosen int, reward float64) {
+	if !p.baselineInit {
+		p.Baseline = reward
+		p.baselineInit = true
+	}
+	advantage := reward - p.Baseline
+	p.Baseline = p.BaselineBeta*p.Baseline + (1-p.BaselineBeta)*reward
+	if advantage == 0 {
+		return
+	}
+	probs := p.Probs(candidates)
+	// d(−A·log π_c)/dlogit_i = A·(π_i − 1{i=c})
+	dLogits := make([]float64, len(probs))
+	for i, pr := range probs {
+		dLogits[i] = advantage * pr
+	}
+	dLogits[chosen] -= advantage
+	p.applyLogitGrads(candidates, dLogits)
+}

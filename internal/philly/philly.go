@@ -1,0 +1,191 @@
+// Package philly loads the Microsoft Philly cluster trace — the real
+// workload behind the paper's large-scale simulation (§4.1, msr-fiddle/
+// philly-traces) — and converts it into this repository's trace format.
+//
+// The public trace ships as `cluster_job_log`, a JSON array of job
+// records with submission time, requested GPUs (via per-attempt GPU
+// assignments) and completion status. The paper consumes exactly three
+// fields — "the job arrival time, the number of GPUs requested and job
+// completion status as the accuracy requirement" — and so does this
+// loader; everything else a simulation job needs (family, curve,
+// iteration budget) is sampled deterministically the same way the
+// synthetic generator does.
+//
+// The trace data itself is not redistributed here (DESIGN.md documents
+// the synthetic substitution); this package exists so users who download
+// the real trace can drive every experiment with it:
+//
+//	phillyTrace, _ := philly.LoadFile("cluster_job_log", philly.Options{})
+//	res, _ := mlfs.Run(mlfs.Options{Trace: phillyTrace, Preset: mlfs.PaperSim})
+package philly
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"mlfs/internal/trace"
+)
+
+// jobRecord mirrors the fields of one cluster_job_log entry that the
+// paper uses. Unknown fields are ignored.
+type jobRecord struct {
+	JobID     string    `json:"jobid"`
+	Status    string    `json:"status"` // Pass | Killed | Failed
+	Submitted string    `json:"submitted_time"`
+	Attempts  []attempt `json:"attempts"`
+}
+
+type attempt struct {
+	StartTime string   `json:"start_time"`
+	EndTime   string   `json:"end_time"`
+	Detail    []detail `json:"detail"`
+}
+
+type detail struct {
+	IP   string   `json:"ip"`
+	GPUs []string `json:"gpus"`
+}
+
+// Options control the conversion.
+type Options struct {
+	// Seed drives the sampling of the fields the trace does not contain
+	// (ML family, curve, communication volumes), exactly like the
+	// synthetic generator. Default 1.
+	Seed int64
+	// MaxJobs truncates the trace (0 = all).
+	MaxJobs int
+	// UrgencyLevels is m for the sampled urgency (default 10).
+	UrgencyLevels int
+}
+
+// timeFormats are the layouts seen in the published trace.
+var timeFormats = []string{
+	"2006-01-02 15:04:05",
+	time.RFC3339,
+}
+
+func parseTime(s string) (time.Time, error) {
+	for _, f := range timeFormats {
+		if t, err := time.Parse(f, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("philly: unparseable time %q", s)
+}
+
+// Load converts a cluster_job_log stream into a workload trace.
+func Load(r io.Reader, opts Options) (*trace.Trace, error) {
+	var raw []jobRecord
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("philly: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("philly: empty trace")
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.UrgencyLevels <= 0 {
+		opts.UrgencyLevels = 10
+	}
+
+	type parsed struct {
+		arrival time.Time
+		gpus    int
+		status  string
+		id      string
+	}
+	var jobs []parsed
+	for _, jr := range raw {
+		if jr.Submitted == "" {
+			continue
+		}
+		at, err := parseTime(jr.Submitted)
+		if err != nil {
+			continue // malformed rows exist in the raw trace; skip them
+		}
+		gpus := 0
+		for _, a := range jr.Attempts {
+			n := 0
+			for _, d := range a.Detail {
+				n += len(d.GPUs)
+			}
+			if n > gpus {
+				gpus = n
+			}
+		}
+		if gpus == 0 {
+			gpus = 1 // CPU-only or unrecorded attempts: smallest job
+		}
+		jobs = append(jobs, parsed{arrival: at, gpus: clampGPUs(gpus), status: jr.Status, id: jr.JobID})
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("philly: no usable job records")
+	}
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].arrival.Before(jobs[k].arrival) })
+	if opts.MaxJobs > 0 && len(jobs) > opts.MaxJobs {
+		jobs = jobs[:opts.MaxJobs]
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t0 := jobs[0].arrival
+	out := &trace.Trace{}
+	// Reuse the synthetic generator's sampling for the fields the real
+	// trace lacks, so a Philly-driven run differs from a synthetic one
+	// only in what the paper's trace actually provides.
+	synth := trace.Generate(trace.GenConfig{
+		Jobs: len(jobs), Seed: opts.Seed,
+		DurationSec:   jobs[len(jobs)-1].arrival.Sub(t0).Seconds() + 1,
+		UrgencyLevels: opts.UrgencyLevels,
+	})
+	for i, j := range jobs {
+		rec := synth.Records[i]
+		rec.JobID = int64(i + 1)
+		rec.ArrivalSec = j.arrival.Sub(t0).Seconds()
+		rec.GPUs = j.gpus
+		// Job completion status stands in for the accuracy requirement
+		// (§4.1): passed jobs demanded (and met) higher accuracy than
+		// killed/failed ones.
+		switch j.status {
+		case "Pass":
+			rec.TargetFrac = 0.80 + 0.12*rng.Float64()
+		case "Killed":
+			rec.TargetFrac = 0.70 + 0.10*rng.Float64()
+		default: // Failed and anything else
+			rec.TargetFrac = 0.70 + 0.05*rng.Float64()
+		}
+		out.Records = append(out.Records, rec)
+		if rec.ArrivalSec > out.DurationSec {
+			out.DurationSec = rec.ArrivalSec
+		}
+	}
+	return out, nil
+}
+
+// LoadFile loads a cluster_job_log file from disk.
+func LoadFile(path string, opts Options) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts)
+}
+
+// clampGPUs snaps a raw GPU count to the paper's {1,2,4,8,16,32} demand
+// set (§4.1), rounding down to the nearest member.
+func clampGPUs(n int) int {
+	levels := []int{32, 16, 8, 4, 2, 1}
+	for _, l := range levels {
+		if n >= l {
+			return l
+		}
+	}
+	return 1
+}

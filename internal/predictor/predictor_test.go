@@ -1,0 +1,127 @@
+package predictor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mlfs/internal/job"
+	"mlfs/internal/learncurve"
+)
+
+func makeJob(t *testing.T, id int64, family learncurve.Family, d, p int) *job.Job {
+	t.Helper()
+	var next job.TaskID
+	mp := p
+	if !family.ModelParallel() {
+		mp = 1
+	}
+	j, err := job.Build(job.Spec{
+		ID: job.ID(id), Family: family, Comm: job.AllReduce,
+		DataParallel: d, ModelParallel: mp, MaxIterations: 100, IterSec: 10, TotalParams: 10,
+		Curve: learncurve.Curve{L0: 2, Floor: 0.1, Decay: 1, AccMax: 0.9, Rate: 0.02},
+	}, &next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestPredictUnknownUsesSampleRun(t *testing.T) {
+	p := New(1)
+	j := makeJob(t, 1, learncurve.ResNet, 1, 4)
+	est, known := p.Predict(j)
+	if known {
+		t.Fatal("first prediction must not be from history")
+	}
+	if est <= 0 {
+		t.Fatalf("estimate = %v", est)
+	}
+}
+
+func TestPredictLearnsFromHistory(t *testing.T) {
+	p := New(2)
+	j := makeJob(t, 1, learncurve.ResNet, 1, 4)
+	ideal := float64(j.MaxIterations) * j.IdealIterationSec()
+	// Record several completions at 1.5x ideal.
+	for i := 0; i < 20; i++ {
+		if err := p.Record(j, 1.5*ideal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Profiles() != 1 {
+		t.Fatalf("Profiles = %d", p.Profiles())
+	}
+	// Average many predictions: should centre on 1.5x ideal within noise.
+	var sum float64
+	const n = 400
+	for i := 0; i < n; i++ {
+		est, known := p.Predict(j)
+		if !known {
+			t.Fatal("prediction must be from history after Record")
+		}
+		sum += est
+	}
+	mean := sum / n
+	if math.Abs(mean-1.5*ideal)/(1.5*ideal) > 0.05 {
+		t.Fatalf("mean prediction %v, want ~%v", mean, 1.5*ideal)
+	}
+}
+
+func TestPredictDistinguishesProfiles(t *testing.T) {
+	p := New(3)
+	a := makeJob(t, 1, learncurve.ResNet, 1, 4)
+	b := makeJob(t, 2, learncurve.ResNet, 2, 4) // different parallelism
+	if err := p.Record(a, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, known := p.Predict(b); known {
+		t.Fatal("different parallelism must be a different profile")
+	}
+	c := makeJob(t, 3, learncurve.LSTM, 1, 4) // different family
+	if _, known := p.Predict(c); known {
+		t.Fatal("different family must be a different profile")
+	}
+}
+
+func TestRecordRejectsBadInput(t *testing.T) {
+	p := New(4)
+	j := makeJob(t, 1, learncurve.MLP, 1, 1)
+	if err := p.Record(j, -5); err == nil {
+		t.Fatal("negative runtime must be rejected")
+	}
+	if err := p.Record(j, 0); err == nil {
+		t.Fatal("zero runtime must be rejected")
+	}
+}
+
+func TestPredictNeverNegative(t *testing.T) {
+	p := New(5)
+	p.NewNoise = 5 // absurd noise still must not go non-positive
+	j := makeJob(t, 1, learncurve.SVM, 4, 1)
+	for i := 0; i < 200; i++ {
+		if est, _ := p.Predict(j); est <= 0 {
+			t.Fatalf("estimate %v <= 0", est)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New(6)
+	j := makeJob(t, 1, learncurve.MLP, 2, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				p.Predict(j)
+				_ = p.Record(j, 50)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Profiles() != 1 {
+		t.Fatalf("Profiles = %d", p.Profiles())
+	}
+}

@@ -1,0 +1,89 @@
+// Package queue provides a deterministic max-priority queue over tasks.
+// Schedulers rebuild it each round from the waiting set with their own
+// priority function (MLF-H recomputes P_{k,J} every round since waiting
+// time and iteration index move, §3.3.1). Ties break on ascending task id
+// so runs are reproducible.
+package queue
+
+import (
+	"container/heap"
+
+	"mlfs/internal/job"
+)
+
+// Item is a prioritised task.
+type Item struct {
+	Task     *job.Task
+	Priority float64
+}
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].Task.ID < h[j].Task.ID
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Queue is a max-priority task queue. The zero value is ready to use.
+type Queue struct {
+	h itemHeap
+}
+
+// Rebuild discards the queue contents and refills it from tasks, scoring
+// each with prio.
+func (q *Queue) Rebuild(tasks []*job.Task, prio func(*job.Task) float64) {
+	q.h = q.h[:0]
+	for _, t := range tasks {
+		q.h = append(q.h, Item{Task: t, Priority: prio(t)})
+	}
+	heap.Init(&q.h)
+}
+
+// Push adds one task.
+func (q *Queue) Push(t *job.Task, priority float64) {
+	heap.Push(&q.h, Item{Task: t, Priority: priority})
+}
+
+// Pop removes and returns the highest-priority task; ok is false when the
+// queue is empty.
+func (q *Queue) Pop() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return heap.Pop(&q.h).(Item), true
+}
+
+// Peek returns the highest-priority item without removing it.
+func (q *Queue) Peek() (Item, bool) {
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Drain pops everything, returning tasks in descending priority order.
+func (q *Queue) Drain() []Item {
+	out := make([]Item, 0, len(q.h))
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, it)
+	}
+}

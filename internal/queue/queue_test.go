@@ -1,0 +1,109 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mlfs/internal/job"
+)
+
+func tasks(n int) []*job.Task {
+	out := make([]*job.Task, n)
+	for i := range out {
+		out[i] = &job.Task{ID: job.TaskID(i + 1), Index: i}
+	}
+	return out
+}
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	ts := tasks(5)
+	prios := []float64{3, 1, 4, 1, 5}
+	q.Rebuild(ts, func(k *job.Task) float64 { return prios[k.Index] })
+	wantIDs := []job.TaskID{5, 3, 1, 2, 4} // 5.0, 4.0, 3.0, then tie 1.0 by id
+	for i, want := range wantIDs {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: empty", i)
+		}
+		if it.Task.ID != want {
+			t.Fatalf("Pop %d = task %d, want %d", i, it.Task.ID, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue must be empty")
+	}
+}
+
+func TestPushPeek(t *testing.T) {
+	var q Queue
+	ts := tasks(2)
+	q.Push(ts[0], 1)
+	q.Push(ts[1], 2)
+	it, ok := q.Peek()
+	if !ok || it.Task.ID != 2 {
+		t.Fatalf("Peek = %+v", it)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Pop()
+	if it, _ := q.Peek(); it.Task.ID != 1 {
+		t.Fatal("Peek after Pop wrong")
+	}
+}
+
+func TestRebuildResets(t *testing.T) {
+	var q Queue
+	q.Push(tasks(1)[0], 9)
+	q.Rebuild(tasks(3), func(k *job.Task) float64 { return float64(k.Index) })
+	if q.Len() != 3 {
+		t.Fatalf("Len after Rebuild = %d", q.Len())
+	}
+}
+
+func TestDrainSorted(t *testing.T) {
+	var q Queue
+	ts := tasks(50)
+	rng := rand.New(rand.NewSource(1))
+	q.Rebuild(ts, func(*job.Task) float64 { return rng.Float64() })
+	items := q.Drain()
+	if len(items) != 50 {
+		t.Fatalf("Drain = %d items", len(items))
+	}
+	if !sort.SliceIsSorted(items, func(i, j int) bool { return items[i].Priority >= items[j].Priority }) {
+		t.Fatal("Drain not in descending priority order")
+	}
+}
+
+// Property: Drain returns exactly the pushed set in priority order with
+// deterministic id tie-breaks.
+func TestQueueProperty(t *testing.T) {
+	prop := func(prios []float64) bool {
+		if len(prios) > 64 {
+			prios = prios[:64]
+		}
+		ts := tasks(len(prios))
+		var q Queue
+		q.Rebuild(ts, func(k *job.Task) float64 { return prios[k.Index] })
+		items := q.Drain()
+		if len(items) != len(prios) {
+			return false
+		}
+		for i := 1; i < len(items); i++ {
+			a, b := items[i-1], items[i]
+			if a.Priority < b.Priority {
+				return false
+			}
+			if a.Priority == b.Priority && a.Task.ID > b.Task.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package sched
+
+import "mlfs/internal/job"
+
+// ServerChooser picks a (server, device) for one task given the candidate
+// underloaded servers, or ok=false when no candidate can host it. It is
+// consulted task-by-task while a gang placement is being built, so it
+// observes the partial placements of earlier tasks of the same job.
+type ServerChooser func(ctx *Context, t *job.Task, candidates []int) (server, device int, ok bool)
+
+// PlaceGang atomically places all given queued tasks using choose,
+// rolling everything back if any task cannot be hosted. It returns true
+// when the whole gang was placed.
+//
+// Jobs train synchronously (see DESIGN.md): an iteration needs every task
+// of the job, so placing a strict subset wastes GPUs without progress.
+// All schedulers therefore place at job granularity, while their policies
+// differ in *ordering* (which job goes first) and *server choice* — the
+// dimensions the paper's comparisons exercise.
+func (c *Context) PlaceGang(tasks []*job.Task, choose ServerChooser) bool {
+	placed := make([]*job.Task, 0, len(tasks))
+	rollback := func() {
+		for _, t := range placed {
+			c.Cluster.Remove(t.ID.Ref())
+			c.waiting[t.ID] = t
+			c.Placements--
+		}
+	}
+	for _, t := range tasks {
+		cand := c.Cluster.Underloaded(c.HR)
+		if len(cand) == 0 {
+			rollback()
+			return false
+		}
+		server, device, ok := choose(c, t, cand)
+		if !ok {
+			rollback()
+			return false
+		}
+		if err := c.Place(t, server, device); err != nil {
+			rollback()
+			return false
+		}
+		placed = append(placed, t)
+	}
+	return true
+}
+
+// FirstFit is the baseline ServerChooser: the first underloaded server
+// (lowest index) whose least-loaded device keeps every resource at or
+// below h_r after hosting t.
+func FirstFit(ctx *Context, t *job.Task, candidates []int) (int, int, bool) {
+	for _, si := range candidates {
+		s := ctx.Cluster.Server(si)
+		d := s.LeastLoadedDevice()
+		if ctx.Cluster.Fits(si, d.ID(), t.Demand, t.GPUShare, ctx.HR) {
+			return si, d.ID(), true
+		}
+	}
+	return 0, 0, false
+}
+
+// LeastLoadedFit chooses the underloaded server with the lowest overload
+// degree that fits t (used by utilisation-spreading baselines).
+func LeastLoadedFit(ctx *Context, t *job.Task, candidates []int) (int, int, bool) {
+	best, bestDeg, found := 0, 0.0, false
+	for _, si := range candidates {
+		s := ctx.Cluster.Server(si)
+		d := s.LeastLoadedDevice()
+		if !ctx.Cluster.Fits(si, d.ID(), t.Demand, t.GPUShare, ctx.HR) {
+			continue
+		}
+		deg := s.OverloadDegree()
+		if !found || deg < bestDeg {
+			best, bestDeg, found = si, deg, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return best, ctx.Cluster.Server(best).LeastLoadedDevice().ID(), true
+}
+
+// PendingJobs returns the jobs that have at least one queued task, in the
+// deterministic order of their lowest queued task id (≈ submission order
+// for fresh jobs).
+func (c *Context) PendingJobs() []*job.Job {
+	type entry struct {
+		j   *job.Job
+		min job.TaskID
+	}
+	var entries []entry
+	for _, j := range c.jobs {
+		q := c.QueuedTasksOf(j)
+		if len(q) == 0 {
+			continue
+		}
+		entries = append(entries, entry{j, q[0].ID})
+	}
+	for i := 1; i < len(entries); i++ {
+		for k := i; k > 0 && entries[k].min < entries[k-1].min; k-- {
+			entries[k], entries[k-1] = entries[k-1], entries[k]
+		}
+	}
+	out := make([]*job.Job, len(entries))
+	for i, e := range entries {
+		out[i] = e.j
+	}
+	return out
+}

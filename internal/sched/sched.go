@@ -1,0 +1,216 @@
+// Package sched defines the scheduler interface of the simulator and the
+// transactional context through which schedulers act on the cluster:
+// placing queued tasks, migrating or evicting running tasks, and stopping
+// jobs (MLF-C). The simulator builds a Context each scheduling round
+// (every minute, §4.1); the scheduler mutates it; the simulator reads back
+// the action log for metric accounting.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/job"
+)
+
+// Scheduler is one scheduling policy (MLF-H, MLF-RL, MLFS or a baseline).
+// Schedule is invoked once per scheduling round and applies its decisions
+// through ctx. Implementations may be stateful across rounds but are
+// always called from a single goroutine.
+type Scheduler interface {
+	Name() string
+	Schedule(ctx *Context)
+}
+
+// Context is the scheduler's view of one round. All mutations go through
+// its methods so the simulator can account bandwidth, migrations and
+// stops.
+type Context struct {
+	// Now is the simulation time in seconds.
+	Now float64
+	// Cluster is the live cluster state. Schedulers may probe it freely;
+	// mutations must go through Place/Migrate/Evict.
+	Cluster *cluster.Cluster
+	// HR is the per-resource server overload threshold h_r; HS is the
+	// cluster overload threshold h_s (both 0.9 by default, §4.1).
+	HR, HS float64
+
+	jobs    []*job.Job
+	waiting map[job.TaskID]*job.Task
+	byRef   map[cluster.TaskRef]*job.Task
+
+	// Round feedback, filled by the simulator for reward-driven policies
+	// (MLF-RL, §3.4): jobs completed since the previous round and the
+	// cross-server traffic generated since then.
+	Completed         []*job.Job
+	RecentBandwidthMB float64
+
+	// Action log, read by the simulator.
+	Placements int
+	Migrations int
+	Evictions  int
+	// MigratedMB is the task-state bytes moved by migrations.
+	MigratedMB float64
+	Stopped    []*job.Job
+}
+
+// NewContext assembles a round context. jobs must contain every
+// non-finished job; waiting the tasks currently queued (unplaced).
+func NewContext(now float64, cl *cluster.Cluster, jobs []*job.Job, waiting []*job.Task, hr, hs float64) *Context {
+	ctx := &Context{
+		Now:     now,
+		Cluster: cl,
+		HR:      hr,
+		HS:      hs,
+		jobs:    jobs,
+		waiting: make(map[job.TaskID]*job.Task, len(waiting)),
+		byRef:   make(map[cluster.TaskRef]*job.Task),
+	}
+	for _, t := range waiting {
+		ctx.waiting[t.ID] = t
+	}
+	for _, j := range jobs {
+		for _, t := range j.Tasks {
+			ctx.byRef[t.ID.Ref()] = t
+		}
+	}
+	return ctx
+}
+
+// Jobs returns every non-finished job, ordered by id.
+func (c *Context) Jobs() []*job.Job { return c.jobs }
+
+// Waiting returns the queued tasks in deterministic (task-id) order.
+// The slice is freshly allocated; callers may reorder it.
+func (c *Context) Waiting() []*job.Task {
+	out := make([]*job.Task, 0, len(c.waiting))
+	for _, t := range c.waiting {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumWaiting returns the queue length.
+func (c *Context) NumWaiting() int { return len(c.waiting) }
+
+// IsWaiting reports whether task t is queued.
+func (c *Context) IsWaiting(t *job.Task) bool {
+	_, ok := c.waiting[t.ID]
+	return ok
+}
+
+// TaskByRef resolves a cluster placement back to its task.
+func (c *Context) TaskByRef(r cluster.TaskRef) *job.Task { return c.byRef[r] }
+
+// Place assigns queued task t to (server, device). It fails when t is not
+// queued or the indices are invalid.
+func (c *Context) Place(t *job.Task, server, device int) error {
+	if _, ok := c.waiting[t.ID]; !ok {
+		return fmt.Errorf("sched: task %d is not in the queue", t.ID)
+	}
+	if err := c.Cluster.Place(t.ID.Ref(), server, device, t.Demand, t.GPUShare); err != nil {
+		return err
+	}
+	delete(c.waiting, t.ID)
+	c.Placements++
+	return nil
+}
+
+// Migrate moves placed task t to (server, device) directly, paying the
+// task-state transfer (§3.3.3: chosen migration tasks are moved virtually
+// to the queue, then directly to the scheduled server).
+func (c *Context) Migrate(t *job.Task, server, device int) error {
+	p := c.Cluster.Lookup(t.ID.Ref())
+	if p == nil {
+		return fmt.Errorf("sched: task %d is not placed", t.ID)
+	}
+	if p.Server == server && p.Device == device {
+		return nil
+	}
+	c.Cluster.Remove(t.ID.Ref())
+	if err := c.Cluster.Place(t.ID.Ref(), server, device, t.Demand, t.GPUShare); err != nil {
+		// Roll back to the original placement.
+		if rbErr := c.Cluster.Place(t.ID.Ref(), p.Server, p.Device, p.Demand, p.GPUShare); rbErr != nil {
+			return fmt.Errorf("sched: migrate rollback failed: %v (after %w)", rbErr, err)
+		}
+		return err
+	}
+	c.Migrations++
+	c.MigratedMB += TaskStateMB(t)
+	return nil
+}
+
+// Evict removes placed task t from the cluster and returns it to the
+// queue (no destination had room, §3.3.3).
+func (c *Context) Evict(t *job.Task) error {
+	if c.Cluster.Remove(t.ID.Ref()) == nil {
+		return fmt.Errorf("sched: task %d is not placed", t.ID)
+	}
+	t.QueuedAt = c.Now
+	c.waiting[t.ID] = t
+	c.Evictions++
+	return nil
+}
+
+// EvictJob preempts a whole job: every placed task returns to the queue,
+// freeing all of the job's resources at once. Schedulers that time-share
+// at job granularity (SLAQ's per-epoch quality-driven reallocation, the
+// Borg fair scheduler) preempt this way; progress is preserved.
+func (c *Context) EvictJob(j *job.Job) int {
+	evicted := 0
+	for _, t := range j.Tasks {
+		if c.Cluster.Lookup(t.ID.Ref()) != nil {
+			if err := c.Evict(t); err == nil {
+				evicted++
+			}
+		}
+	}
+	return evicted
+}
+
+// StopJob marks job j for termination by the load controller. The
+// simulator finalises the job and frees its tasks after the round.
+func (c *Context) StopJob(j *job.Job) {
+	for _, s := range c.Stopped {
+		if s == j {
+			return
+		}
+	}
+	c.Stopped = append(c.Stopped, j)
+}
+
+// TaskStateMB estimates the bytes moved when migrating a task: its model
+// partition (4 bytes per parameter, Params in millions) plus optimiser
+// state of the same size.
+func TaskStateMB(t *job.Task) float64 {
+	return t.Params * 4 * 2
+}
+
+// QueuedTasksOf returns the queued tasks belonging to job j, in task order.
+func (c *Context) QueuedTasksOf(j *job.Job) []*job.Task {
+	var out []*job.Task
+	for _, t := range j.Tasks {
+		if c.IsWaiting(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FullyPlaced reports whether every task of j is placed.
+func (c *Context) FullyPlaced(j *job.Job) bool {
+	for _, t := range j.Tasks {
+		if c.Cluster.Lookup(t.ID.Ref()) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Overloaded reports whether the system is overloaded per §3.5: tasks are
+// queued, or the cluster overload degree exceeds h_s.
+func (c *Context) Overloaded() bool {
+	return len(c.waiting) > 0 || c.Cluster.OverloadDegree() > c.HS
+}

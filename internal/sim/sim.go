@@ -1,0 +1,524 @@
+// Package sim is the time-stepped ML-cluster simulator that drives every
+// experiment in this repository. It replays a workload trace against a
+// cluster under a pluggable scheduler, advancing training progress in
+// fixed ticks (the paper's scheduler runs every minute, §4.1) and
+// accounting all the quantities the paper's figures report.
+//
+// Execution model (documented in DESIGN.md): jobs train synchronously —
+// an iteration requires all tasks placed; iteration latency is the
+// critical path over the task DAG of per-stage compute (inflated by
+// server/device overload) plus cross-server communication time; jobs with
+// unplaced tasks make no progress and accrue waiting time.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/job"
+	"mlfs/internal/metrics"
+	"mlfs/internal/sched"
+	"mlfs/internal/trace"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	Cluster   cluster.Config
+	Trace     *trace.Trace
+	Scheduler sched.Scheduler
+
+	// TickSec is the scheduling period (default 60 s, §4.1).
+	TickSec float64
+	// HR / HS are the overload thresholds h_r and h_s (default 0.9, §4.1).
+	HR, HS float64
+	// FlowMBps is the per-flow effective network bandwidth for
+	// cross-server transfers (default 250 MB/s).
+	FlowMBps float64
+	// DemandWobble is the relative amplitude of task demand variation
+	// over time (default 0.35); it is what drives servers into transient
+	// overload. WobblePeriodSec is its period (default 3600 s).
+	DemandWobble    float64
+	WobblePeriodSec float64
+	// MaxSimSec caps the simulation horizon (default: trace duration +
+	// 30 days). Jobs still unfinished at the horizon are force-finished
+	// and counted as truncated.
+	MaxSimSec float64
+
+	// Straggler injection (§3.3.3 notes stragglers from failing hardware
+	// and misconfiguration; handling them is the paper's future work,
+	// implemented here as an extension). Each tick each running job's
+	// iteration is slowed by StragglerSlow× with probability
+	// StragglerProb (0 disables injection).
+	StragglerProb float64
+	StragglerSlow float64
+	// ReplicateStragglers enables the paper's proposed mitigation:
+	// duplicate the straggling task on another server and take whichever
+	// finishes first. The slowdown then shrinks to a small residual and
+	// every incident pays one task-state transfer in bandwidth.
+	ReplicateStragglers bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickSec <= 0 {
+		c.TickSec = 60
+	}
+	if c.HR <= 0 {
+		c.HR = 0.9
+	}
+	if c.HS <= 0 {
+		c.HS = 0.9
+	}
+	if c.FlowMBps <= 0 {
+		c.FlowMBps = 250
+	}
+	if c.DemandWobble < 0 {
+		c.DemandWobble = 0
+	} else if c.DemandWobble == 0 {
+		c.DemandWobble = 0.35
+	}
+	if c.WobblePeriodSec <= 0 {
+		c.WobblePeriodSec = 3600
+	}
+	if c.MaxSimSec <= 0 {
+		dur := 7 * 24 * 3600.0
+		if c.Trace != nil && c.Trace.DurationSec > 0 {
+			dur = c.Trace.DurationSec
+		}
+		c.MaxSimSec = dur + 30*24*3600
+	}
+	if c.StragglerSlow <= 1 {
+		c.StragglerSlow = 3
+	}
+	return c
+}
+
+// Simulator executes one run. It is single-goroutine; create a fresh
+// Simulator per run.
+type Simulator struct {
+	cfg     Config
+	cl      *cluster.Cluster
+	sched   sched.Scheduler
+	jobs    []*job.Job // all jobs, arrival order
+	pending int        // index of next arrival in jobs
+	active  []*job.Job // admitted, not done
+	waiting map[job.TaskID]*job.Task
+	now     float64
+
+	counters metrics.Counters
+	// deadlineSnapped marks jobs whose accuracy-at-deadline is recorded.
+	deadlineSnapped map[job.ID]bool
+
+	// Round feedback handed to reward-driven schedulers.
+	recentCompleted []*job.Job
+	lastBWMark      float64
+}
+
+// New materialises the trace and assembles a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("sim: no trace")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: no scheduler")
+	}
+	jobs, err := cfg.Trace.MaterializeAll()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+	return &Simulator{
+		cfg:             cfg,
+		cl:              cluster.New(cfg.Cluster),
+		sched:           cfg.Scheduler,
+		jobs:            jobs,
+		waiting:         make(map[job.TaskID]*job.Task),
+		deadlineSnapped: make(map[job.ID]bool),
+	}, nil
+}
+
+// Run executes the simulation to completion and returns the metrics.
+func (s *Simulator) Run() (*metrics.Result, error) {
+	dt := s.cfg.TickSec
+	for {
+		s.admitArrivals()
+		if len(s.active) == 0 {
+			if s.pending >= len(s.jobs) {
+				break
+			}
+			// Idle: jump to the tick containing the next arrival.
+			next := s.jobs[s.pending].Arrival
+			if next > s.now+dt {
+				s.now = math.Floor(next/dt) * dt
+				s.admitArrivals()
+			}
+		}
+		if s.now >= s.cfg.MaxSimSec {
+			s.truncate()
+			break
+		}
+		s.wobbleDemands()
+		s.runScheduler()
+		s.advance(dt)
+		s.countOverloads()
+		s.now += dt
+	}
+	s.counters.SimulatedSec = s.now
+	return metrics.Compute(s.sched.Name(), s.jobs, s.counters), nil
+}
+
+// admitArrivals moves newly arrived jobs into the active set and queues
+// their tasks. Jobs that can never fit the cluster (more GPU tasks than
+// the cluster has GPUs) are rejected at admission, as a real cluster
+// would: they count as deadline-missed with zero accuracy for every
+// scheduler alike.
+func (s *Simulator) admitArrivals() {
+	for s.pending < len(s.jobs) && s.jobs[s.pending].Arrival <= s.now {
+		j := s.jobs[s.pending]
+		s.pending++
+		if j.GPUsRequested() > s.cl.NumGPUs() {
+			j.State = job.Stopped
+			j.FinishTime = math.Max(j.Deadline, j.Arrival)
+			s.deadlineSnapped[j.ID] = true
+			s.counters.Rejected++
+			continue
+		}
+		j.State = job.Pending
+		for _, t := range j.Tasks {
+			t.QueuedAt = s.now
+			s.waiting[t.ID] = t
+		}
+		s.active = append(s.active, j)
+	}
+}
+
+// activity returns the demand wobble multiplier for a task on a server at
+// the current time. The phase mixes task and server identity so migrating
+// genuinely changes a task's interference pattern.
+func (s *Simulator) activity(t job.TaskID, server int) float64 {
+	h := uint64(t)*0x9e3779b9 + uint64(server)*0x85ebca6b
+	phase := float64(h%1000) / 1000
+	return 1 + s.cfg.DemandWobble*math.Sin(2*math.Pi*(s.now/s.cfg.WobblePeriodSec+phase))
+}
+
+// wobbleDemands updates every placed task's demand for this tick.
+func (s *Simulator) wobbleDemands() {
+	if s.cfg.DemandWobble == 0 {
+		return
+	}
+	for _, j := range s.active {
+		for _, t := range j.Tasks {
+			p := s.cl.Lookup(t.ID.Ref())
+			if p == nil {
+				continue
+			}
+			a := s.activity(t.ID, p.Server)
+			d := t.Demand
+			d[cluster.ResCPU] *= a
+			d[cluster.ResBandwidth] *= a
+			gpu := t.GPUShare * a
+			d[cluster.ResGPU] = gpu
+			s.cl.SetDemand(t.ID.Ref(), d, gpu)
+		}
+	}
+}
+
+// runScheduler invokes the policy and applies its stop decisions.
+func (s *Simulator) runScheduler() {
+	waiting := make([]*job.Task, 0, len(s.waiting))
+	for _, t := range s.waiting {
+		waiting = append(waiting, t)
+	}
+	ctx := sched.NewContext(s.now, s.cl, s.active, waiting, s.cfg.HR, s.cfg.HS)
+	ctx.Completed = s.recentCompleted
+	ctx.RecentBandwidthMB = s.counters.BandwidthMB - s.lastBWMark
+	s.recentCompleted = nil
+	s.lastBWMark = s.counters.BandwidthMB
+	start := time.Now()
+	s.sched.Schedule(ctx)
+	s.counters.SchedSeconds += time.Since(start).Seconds()
+	s.counters.SchedRounds++
+
+	// Synchronise the waiting set with the context (placements removed
+	// tasks; evictions added them).
+	s.waiting = make(map[job.TaskID]*job.Task)
+	for _, t := range ctx.Waiting() {
+		s.waiting[t.ID] = t
+	}
+	s.counters.Migrations += ctx.Migrations
+	s.counters.Evictions += ctx.Evictions
+	s.counters.BandwidthMB += ctx.MigratedMB
+	s.counters.MigrationMB += ctx.MigratedMB
+
+	if len(ctx.Stopped) > 0 {
+		for _, j := range ctx.Stopped {
+			s.finishJob(j, s.now, job.Stopped)
+		}
+		s.pruneActive()
+	}
+}
+
+// pruneActive drops Done jobs from the active list.
+func (s *Simulator) pruneActive() {
+	live := make([]*job.Job, 0, len(s.active))
+	for _, j := range s.active {
+		if !j.Done() {
+			live = append(live, j)
+		}
+	}
+	s.active = live
+}
+
+// iterationCost returns the per-iteration latency and cross-server
+// traffic for a fully placed job under the current cluster state.
+func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
+	servers := make(map[int]struct{})
+	place := make([]*cluster.Placement, len(j.Tasks))
+	for i, t := range j.Tasks {
+		p := s.cl.Lookup(t.ID.Ref())
+		if p == nil {
+			return math.Inf(1), 0
+		}
+		place[i] = p
+		servers[p.Server] = struct{}{}
+	}
+	slow := func(p *cluster.Placement) float64 {
+		srv := s.cl.Server(p.Server)
+		u := srv.Utilization()
+		f := 1.0
+		for _, x := range []float64{u[cluster.ResGPU], u[cluster.ResCPU], u[cluster.ResMemory],
+			srv.Devices()[p.Device].Utilization()} {
+			if x > f {
+				f = x
+			}
+		}
+		return f
+	}
+	effBW := func(server int) float64 {
+		u := s.cl.Server(server).Utilization()[cluster.ResBandwidth]
+		return s.cfg.FlowMBps / math.Max(1, u)
+	}
+	for _, stage := range j.Stages() {
+		var stageSec float64
+		for _, ti := range stage {
+			t := j.Tasks[ti]
+			p := place[ti]
+			taskSec := t.ComputeSec * slow(p)
+			var inbound float64
+			for _, pi := range t.Parents() {
+				if place[pi].Server != p.Server {
+					vol := j.CommVolWW
+					if t.IsPS {
+						vol = j.CommVolPS
+					}
+					inbound += vol
+				}
+			}
+			if inbound > 0 {
+				taskSec += inbound / effBW(p.Server)
+				crossMB += inbound
+			}
+			if taskSec > stageSec {
+				stageSec = taskSec
+			}
+		}
+		sec += stageSec
+	}
+	// All-reduce parameter synchronisation across servers, paid once per
+	// iteration. The wire volume per member is 2·V·(n−1)/n regardless of
+	// topology; topologies differ in the number of synchronous steps and
+	// hence fixed per-step overhead: 2(n−1) for a ring versus 4(√n−1)
+	// for a 2D torus (rows then columns) — the torus advantage Mikami et
+	// al. exploit (§3.2).
+	if j.Comm == job.AllReduce && len(servers) > 1 {
+		const stepOverheadSec = 0.005
+		n := float64(len(servers))
+		vol := 2 * j.CommVolWW * (n - 1)
+		var worst float64
+		for sv := range servers {
+			if bw := effBW(sv); worst == 0 || bw < worst {
+				worst = bw
+			}
+		}
+		steps := 2 * (n - 1)
+		if j.Topology == job.Torus2D {
+			steps = 4 * (math.Sqrt(n) - 1)
+		}
+		sec += vol/n/worst + steps*stepOverheadSec
+		crossMB += vol
+	}
+	return sec, crossMB
+}
+
+// advance moves training forward by dt seconds.
+func (s *Simulator) advance(dt float64) {
+	stillActive := make([]*job.Job, 0, len(s.active))
+	for _, j := range s.active {
+		if j.Done() {
+			continue
+		}
+		fully := true
+		for _, t := range j.Tasks {
+			if s.cl.Lookup(t.ID.Ref()) == nil {
+				fully = false
+				break
+			}
+		}
+		if !fully {
+			j.WaitingTime += dt
+			s.snapDeadline(j, dt, 0)
+			stillActive = append(stillActive, j)
+			continue
+		}
+		if j.State == job.Pending {
+			j.State = job.Running
+			j.EverPlaced = true
+		}
+		iterSec, crossMB := s.iterationCost(j)
+		if f := s.stragglerFactor(j); f > 1 {
+			iterSec *= f
+		}
+		delta := dt / iterSec
+		remaining := float64(j.MaxIterations) - j.Progress
+		finished := false
+		if delta >= remaining {
+			finished = true
+			delta = remaining
+		}
+		old := j.Progress
+		j.Progress = old + delta
+		if crossMB > 0 {
+			s.counters.BandwidthMB += crossMB * delta
+		}
+		s.observe(j, old)
+		s.snapDeadline(j, dt, delta)
+		if finished {
+			finishAt := s.now + (delta * iterSec)
+			if finishAt > s.now+dt {
+				finishAt = s.now + dt
+			}
+			s.finishJob(j, finishAt, job.Finished)
+			continue
+		}
+		stillActive = append(stillActive, j)
+	}
+	s.active = stillActive
+}
+
+// stragglerFactor returns this tick's straggler slowdown for job j.
+// Deterministic: the decision hashes (job, tick index), so runs reproduce
+// exactly. With replication enabled the first-finisher replica bounds the
+// slowdown at 10% of the injected penalty, and the incident pays one
+// task-state transfer.
+func (s *Simulator) stragglerFactor(j *job.Job) float64 {
+	if s.cfg.StragglerProb <= 0 {
+		return 1
+	}
+	tick := uint64(s.now / s.cfg.TickSec)
+	h := (uint64(j.ID)*0x9e3779b97f4a7c15 + tick*0xbf58476d1ce4e5b9) >> 11
+	u := float64(h%100000) / 100000
+	if u >= s.cfg.StragglerProb {
+		return 1
+	}
+	if s.cfg.ReplicateStragglers {
+		// Replica state transfer: the largest task's partition moves.
+		var maxState float64
+		for _, t := range j.Tasks {
+			if mb := sched.TaskStateMB(t); mb > maxState {
+				maxState = mb
+			}
+		}
+		s.counters.BandwidthMB += maxState
+		return 1 + (s.cfg.StragglerSlow-1)*0.1
+	}
+	return s.cfg.StragglerSlow
+}
+
+// observe feeds newly completed iterations to the job's learning-curve
+// predictor (capped per tick to bound work for very fast jobs).
+func (s *Simulator) observe(j *job.Job, oldProgress float64) {
+	lo, hi := int(oldProgress)+1, int(j.Progress)
+	if hi-lo > 32 {
+		// Stride so the predictor still sees the curve shape.
+		stride := (hi - lo) / 32
+		for i := lo; i <= hi; i += stride + 1 {
+			j.Predictor.Observe(i, j.Curve.ObservedAccuracy(i))
+		}
+		j.Predictor.Observe(hi, j.Curve.ObservedAccuracy(hi))
+		return
+	}
+	for i := lo; i <= hi; i++ {
+		j.Predictor.Observe(i, j.Curve.ObservedAccuracy(i))
+	}
+}
+
+// snapDeadline records accuracy-at-deadline when the deadline falls inside
+// this tick. delta is the progress made during the tick, used to
+// interpolate the iteration count at the deadline instant.
+func (s *Simulator) snapDeadline(j *job.Job, dt, delta float64) {
+	if s.deadlineSnapped[j.ID] || j.Deadline > s.now+dt {
+		return
+	}
+	frac := 0.0
+	if dt > 0 && j.Deadline > s.now {
+		frac = (j.Deadline - s.now) / dt
+	}
+	progressAtDeadline := j.Progress - delta*(1-frac)
+	iters := int(progressAtDeadline)
+	if iters > j.MaxIterations {
+		iters = j.MaxIterations
+	}
+	j.AccuracyAtDeadline = j.Curve.Accuracy(iters)
+	s.deadlineSnapped[j.ID] = true
+}
+
+// finishJob finalises a job: frees resources, stamps outcome fields.
+func (s *Simulator) finishJob(j *job.Job, at float64, state job.State) {
+	for _, t := range j.Tasks {
+		s.cl.Remove(t.ID.Ref())
+		delete(s.waiting, t.ID)
+	}
+	j.State = state
+	j.FinishTime = at
+	s.recentCompleted = append(s.recentCompleted, j)
+	if !s.deadlineSnapped[j.ID] {
+		// Finished before the deadline: accuracy by deadline is the final
+		// accuracy (training stops at completion).
+		j.AccuracyAtDeadline = j.Accuracy()
+		s.deadlineSnapped[j.ID] = true
+	}
+}
+
+// countOverloads accumulates the number of overloaded servers this tick
+// (Fig 8a's "server overload occurrences").
+func (s *Simulator) countOverloads() {
+	for _, srv := range s.cl.Servers() {
+		if srv.Overloaded(s.cfg.HR) {
+			s.counters.OverloadOccurrences++
+		}
+	}
+}
+
+// truncate force-finishes everything still live at the horizon.
+func (s *Simulator) truncate() {
+	for s.pending < len(s.jobs) {
+		j := s.jobs[s.pending]
+		s.pending++
+		j.State = job.Pending
+		s.active = append(s.active, j)
+	}
+	for _, j := range s.active {
+		s.finishJob(j, s.cfg.MaxSimSec, job.Stopped)
+		s.counters.Truncated++
+	}
+	s.active = nil
+}
+
+// Now returns the current simulation time (exposed for tests).
+func (s *Simulator) Now() float64 { return s.now }
+
+// Cluster exposes the cluster (for tests and tools).
+func (s *Simulator) Cluster() *cluster.Cluster { return s.cl }

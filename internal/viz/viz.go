@@ -1,0 +1,139 @@
+// Package viz renders figure series as ASCII line charts so experiment
+// results are inspectable straight from the terminal, with no plotting
+// dependencies.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options control rendering.
+type Options struct {
+	Width, Height int  // plot area in characters (default 64×16)
+	LogX          bool // logarithmic x axis
+	Title         string
+	YLabel        string
+	XLabel        string
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Render draws the series into a single string.
+func Render(series []Series, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		if opts.LogX {
+			if x <= 0 {
+				return
+			}
+			x = math.Log10(x)
+		}
+		col := int((x - minX) / (maxX - minX) * float64(w-1))
+		row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		grid[row][col] = m
+	}
+	// Linear interpolation between consecutive points for line feel.
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], m)
+			if i > 0 {
+				const steps = 24
+				for k := 1; k < steps; k++ {
+					f := float64(k) / steps
+					x := s.X[i-1] + f*(s.X[i]-s.X[i-1])
+					y := s.Y[i-1] + f*(s.Y[i]-s.Y[i-1])
+					plotFaint(grid, w, h, minX, maxX, minY, maxY, opts.LogX, x, y)
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(h-1)
+		fmt.Fprintf(&sb, "%10.3g |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", w))
+	lo, hi := minX, maxX
+	if opts.LogX {
+		lo, hi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&sb, "%10s  %-10.4g%*s%10.4g\n", "", lo, w-20, "", hi)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&sb, "%10s  x: %s   y: %s\n", "", opts.XLabel, opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%10s  %c %s\n", "", markers[si%len(markers)], s.Label)
+	}
+	return sb.String()
+}
+
+// plotFaint draws interpolated line cells with '.' without overwriting
+// real markers.
+func plotFaint(grid [][]byte, w, h int, minX, maxX, minY, maxY float64, logX bool, x, y float64) {
+	if logX {
+		if x <= 0 {
+			return
+		}
+		x = math.Log10(x)
+	}
+	col := int((x - minX) / (maxX - minX) * float64(w-1))
+	row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+	if col < 0 || col >= w || row < 0 || row >= h {
+		return
+	}
+	if grid[row][col] == ' ' {
+		grid[row][col] = '.'
+	}
+}

@@ -1,0 +1,58 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{
+		{Label: "mlfs", X: []float64{1, 2, 3}, Y: []float64{10, 20, 15}},
+		{Label: "slaq", X: []float64{1, 2, 3}, Y: []float64{30, 40, 50}},
+	}, Options{Title: "JCT", XLabel: "jobs", YLabel: "min"})
+	for _, want := range []string{"JCT", "mlfs", "slaq", "*", "o", "x: jobs", "y: min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderLogXIgnoresNonPositive(t *testing.T) {
+	out := Render([]Series{
+		{Label: "s", X: []float64{0, 1, 10, 100}, Y: []float64{1, 2, 3, 4}},
+	}, Options{LogX: true})
+	if !strings.Contains(out, "s") {
+		t.Fatal("log-x render failed")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (single point, constant y) must not divide by zero.
+	out := Render([]Series{
+		{Label: "c", X: []float64{5}, Y: []float64{7}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "c") {
+		t.Fatal("constant render failed")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 12; i++ {
+		series = append(series, Series{Label: "s", X: []float64{1, 2}, Y: []float64{float64(i), float64(i + 1)}})
+	}
+	out := Render(series, Options{})
+	if !strings.Contains(out, "~") || !strings.Contains(out, "@") {
+		t.Fatal("markers must cycle through the set")
+	}
+}

@@ -1,0 +1,241 @@
+package mlfs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"mlfs/internal/cluster"
+	"mlfs/internal/philly"
+	"mlfs/internal/sim"
+	"mlfs/internal/trace"
+)
+
+// ClusterPreset selects one of the paper's two cluster scales.
+type ClusterPreset string
+
+const (
+	// PaperReal is the real-experiment testbed: 20 servers × 4 V100
+	// GPUs = 80 GPUs (§4.1).
+	PaperReal ClusterPreset = "paper-real"
+	// PaperSim is the large-scale simulation cluster: 550 servers,
+	// 2474 GPUs, matching the Philly trace (§4.1).
+	PaperSim ClusterPreset = "paper-sim"
+)
+
+// Options configure one simulation run.
+type Options struct {
+	// Scheduler is a name accepted by NewScheduler, or leave empty and
+	// set Sched directly.
+	Scheduler string
+	// Sched overrides Scheduler with a ready-made policy instance.
+	Sched Scheduler
+	// SchedOpts tune the MLFS-family schedulers and seed RL policies.
+	SchedOpts SchedulerOptions
+
+	// Jobs and Seed drive trace generation when Trace is nil.
+	Jobs int
+	Seed int64
+	// TraceDurationSec is the arrival window (default one week scaled to
+	// the workload — see GenerateTrace).
+	TraceDurationSec float64
+	// Trace supplies a pre-built workload, overriding Jobs/Seed.
+	Trace *Trace
+
+	// Preset selects the cluster scale (default PaperReal). Servers and
+	// GPUsPerServer, when both non-zero, override the preset.
+	Preset        ClusterPreset
+	Servers       int
+	GPUsPerServer int
+
+	// TickSec, HR, HS override the scheduling period and overload
+	// thresholds (§4.1 defaults: 60 s, 0.9, 0.9).
+	TickSec float64
+	HR, HS  float64
+	// DemandWobble overrides the task demand variation amplitude
+	// (default 0.35; pass a negative value to disable).
+	DemandWobble float64
+
+	// Straggler injection (extension; see internal/sim): probability per
+	// job per tick of a StragglerSlow× slowdown, and whether to mitigate
+	// by task replication.
+	StragglerProb       float64
+	StragglerSlow       float64
+	ReplicateStragglers bool
+}
+
+func (o Options) clusterConfig() cluster.Config {
+	if o.Servers > 0 && o.GPUsPerServer > 0 {
+		return cluster.Config{
+			Servers: o.Servers, GPUsPerServer: o.GPUsPerServer,
+			GPUCapacity: 1, CPUCapacity: 32, MemoryCapacity: 244, BWCapacity: 1200,
+		}
+	}
+	if o.Preset == PaperSim {
+		return cluster.PaperSimConfig()
+	}
+	return cluster.PaperRealConfig()
+}
+
+// DefaultTraceDuration returns the arrival window used when none is
+// given: it scales with the job count so the cluster stays under the
+// sustained pressure the paper's evaluation exercises (makespans of tens
+// of hours at the top job counts, Figs. 4–5). The calibration is for the
+// paper's 80-GPU testbed; DurationForCluster rescales it to other sizes.
+func DefaultTraceDuration(jobs int) float64 {
+	return DurationForCluster(jobs, 80)
+}
+
+// DurationForCluster returns the arrival window that subjects a cluster
+// of the given GPU count to the same sustained pressure the 80-GPU
+// calibration produces: 75 s per job at 80 GPUs, scaled inversely with
+// capacity.
+func DurationForCluster(jobs, gpus int) float64 {
+	if gpus <= 0 {
+		gpus = 80
+	}
+	d := float64(jobs) * 75 * 80 / float64(gpus)
+	if d < 3600 {
+		d = 3600
+	}
+	return d
+}
+
+// GenerateTrace creates a deterministic Philly-calibrated synthetic
+// workload of n jobs arriving over durationSec (default: one week).
+func GenerateTrace(n int, seed int64, durationSec float64) *Trace {
+	return trace.Generate(trace.GenConfig{Jobs: n, Seed: seed, DurationSec: durationSec})
+}
+
+// LoadTraceCSV reads a trace previously saved with SaveTraceCSV.
+func LoadTraceCSV(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}
+
+// LoadPhillyTrace converts a real Microsoft Philly trace file
+// (cluster_job_log from msr-fiddle/philly-traces — the workload behind
+// the paper's Figure 5) into a runnable workload. maxJobs truncates
+// (0 = all); seed fills the fields the trace does not carry.
+func LoadPhillyTrace(path string, maxJobs int, seed int64) (*Trace, error) {
+	return philly.LoadFile(path, philly.Options{Seed: seed, MaxJobs: maxJobs})
+}
+
+// SaveTraceCSV writes a trace to path.
+func SaveTraceCSV(t *Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Run executes one simulation and returns the paper's metrics.
+func Run(opts Options) (*Result, error) {
+	s := opts.Sched
+	if s == nil {
+		if opts.Scheduler == "" {
+			return nil, fmt.Errorf("mlfs: no scheduler given")
+		}
+		var err error
+		s, err = NewScheduler(opts.Scheduler, opts.SchedOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr := opts.Trace
+	if tr == nil {
+		if opts.Jobs <= 0 {
+			return nil, fmt.Errorf("mlfs: no trace and no job count given")
+		}
+		dur := opts.TraceDurationSec
+		if dur <= 0 {
+			dur = DurationForCluster(opts.Jobs, opts.clusterConfig().TotalGPUs())
+		}
+		tr = GenerateTrace(opts.Jobs, opts.Seed, dur)
+	}
+	simulator, err := sim.New(sim.Config{
+		Cluster:             opts.clusterConfig(),
+		Trace:               tr,
+		Scheduler:           s,
+		TickSec:             opts.TickSec,
+		HR:                  opts.HR,
+		HS:                  opts.HS,
+		DemandWobble:        opts.DemandWobble,
+		StragglerProb:       opts.StragglerProb,
+		StragglerSlow:       opts.StragglerSlow,
+		ReplicateStragglers: opts.ReplicateStragglers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simulator.Run()
+}
+
+// Compare runs every named scheduler over every job count with otherwise
+// identical options and workloads — the sweep behind Figures 4 and 5.
+// The result is indexed results[scheduler][i] for jobCounts[i].
+//
+// Runs are independent simulations, so they execute in parallel across
+// CPUs; each run stays internally deterministic, so the overall result is
+// reproducible regardless of parallelism.
+func Compare(schedulers []string, jobCounts []int, base Options) (map[string][]*Result, error) {
+	type cell struct {
+		res *Result
+		err error
+	}
+	cells := make([][]cell, len(schedulers))
+	for i := range cells {
+		cells[i] = make([]cell, len(jobCounts))
+	}
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for ji, jc := range jobCounts {
+		dur := base.TraceDurationSec
+		if dur <= 0 {
+			dur = DurationForCluster(jc, base.clusterConfig().TotalGPUs())
+		}
+		// One trace per job count, shared by every scheduler; each run
+		// re-materialises its own jobs from it, so no state is shared.
+		tr := GenerateTrace(jc, base.Seed, dur)
+		for si, name := range schedulers {
+			wg.Add(1)
+			go func(si, ji int, name string, jc int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				opts := base
+				opts.Jobs = jc
+				opts.Scheduler = name
+				opts.Sched = nil
+				opts.Trace = tr
+				res, err := Run(opts)
+				if err != nil {
+					err = fmt.Errorf("mlfs: %s at %d jobs: %w", name, jc, err)
+				}
+				cells[si][ji] = cell{res, err}
+			}(si, ji, name, jc)
+		}
+	}
+	wg.Wait()
+	out := make(map[string][]*Result, len(schedulers))
+	for si, name := range schedulers {
+		for ji := range jobCounts {
+			c := cells[si][ji]
+			if c.err != nil {
+				return nil, c.err
+			}
+			out[name] = append(out[name], c.res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package mlfs
+
+import "testing"
+
+func TestMetricOfUnknown(t *testing.T) {
+	if _, err := metricOf("nope", &Result{}); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+}
+
+func TestCheckExpectationsErrors(t *testing.T) {
+	if _, err := CheckExpectations(map[string][]*Result{}, []Expectation{{"jct", "a", "b"}}); err == nil {
+		t.Fatal("missing scheduler must error")
+	}
+	res := map[string][]*Result{
+		"a": {{AvgJCTSec: 10}},
+		"b": {{AvgJCTSec: 20}},
+	}
+	if _, err := CheckExpectations(res, []Expectation{{"bogus", "a", "b"}}); err == nil {
+		t.Fatal("bad metric must error")
+	}
+	out, err := CheckExpectations(res, []Expectation{{"jct", "a", "b"}, {"jct", "b", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Holds || out[1].Holds {
+		t.Fatalf("outcomes wrong: %+v", out)
+	}
+}
+
+// TestPaperShapeMediumLoad runs a reduced head-to-head and checks the
+// most robust subset of the paper's orderings. Skipped under -short
+// (several minutes of simulation).
+func TestPaperShapeMediumLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-load shape check skipped in -short mode")
+	}
+	schedulers := []string{"mlfs", "mlf-h", "tiresias", "slaq"}
+	results, err := Compare(schedulers, []int{200}, Options{
+		Seed: 1, SchedOpts: SchedulerOptions{Seed: 1}, Preset: PaperReal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := []Expectation{
+		{"jct", "mlfs", "mlf-h"},
+		{"jct", "mlfs", "tiresias"},
+		{"jct", "mlfs", "slaq"},
+		{"jct", "tiresias", "slaq"},
+		{"ddl", "mlfs", "slaq"},
+		{"accratio", "mlfs", "tiresias"},
+		{"bw", "mlfs", "mlf-h"},
+		{"wait", "mlfs", "slaq"},
+		{"overhead-above", "mlfs", "tiresias"},
+		{"makespan", "mlfs", "slaq"},
+	}
+	outcomes, err := CheckExpectations(results, robust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.Holds {
+			t.Errorf("expected %s(%s) better than %s: got %.4g vs %.4g",
+				o.Better, o.Metric, o.Worse, o.BetterValue, o.WorseValue)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package mlfs
+
+import "fmt"
+
+// SweepPoint is one parameter setting and its outcome.
+type SweepPoint struct {
+	Value  float64
+	Result *Result
+}
+
+// Sweep runs MLF-H (or MLFS for the h_s sweep) across values of one named
+// parameter, holding the workload fixed — the sensitivity studies DESIGN.md
+// calls out for the design choices α, γ, p_s and h_r (the paper discusses
+// each knob's trade-off in §3.3 and leaves sensitivity as future work).
+//
+// Supported parameters: "alpha", "gamma", "gamma_d", "gamma_r", "gamma_w",
+// "ps", "hr", "hs".
+func Sweep(param string, values []float64, base Options) ([]SweepPoint, error) {
+	if base.Jobs <= 0 && base.Trace == nil {
+		return nil, fmt.Errorf("mlfs: sweep needs a workload")
+	}
+	if base.Trace == nil {
+		base.Trace = GenerateTrace(base.Jobs, base.Seed, DefaultTraceDuration(base.Jobs))
+	}
+	if base.Scheduler == "" {
+		base.Scheduler = "mlf-h"
+	}
+	var out []SweepPoint
+	for _, v := range values {
+		opts := base
+		opts.Sched = nil
+		switch param {
+		case "alpha":
+			opts.SchedOpts.Alpha = v
+		case "gamma":
+			opts.SchedOpts.Gamma = v
+		case "gamma_d":
+			opts.SchedOpts.GammaD = v
+		case "gamma_r":
+			opts.SchedOpts.GammaR = v
+		case "gamma_w":
+			opts.SchedOpts.GammaW = v
+		case "ps":
+			opts.SchedOpts.PSFraction = v
+		case "hr":
+			opts.HR = v
+		case "hs":
+			opts.HS = v
+		default:
+			return nil, fmt.Errorf("mlfs: unknown sweep parameter %q", param)
+		}
+		res, err := Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("mlfs: sweep %s=%v: %w", param, v, err)
+		}
+		out = append(out, SweepPoint{Value: v, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package mlfs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TuneResult is the outcome of the reward-weight search.
+type TuneResult struct {
+	Betas  [5]float64
+	Score  float64
+	Trials []TuneTrial
+}
+
+// TuneTrial records one evaluated weight combination.
+type TuneTrial struct {
+	Betas [5]float64
+	Score float64
+}
+
+// TuneConfig controls TuneRewardWeights.
+type TuneConfig struct {
+	// Rounds is the number of initial search rounds (the paper uses ~10,
+	// §3.4). Default 10.
+	Rounds int
+	// Perturbations is how many local refinements follow, each slightly
+	// varying every weight of the best combination (the paper's
+	// "empirically try different combinations by slightly varying each
+	// value"). Default 8.
+	Perturbations int
+	// Seed drives the search randomness.
+	Seed int64
+	// Base configures the evaluation runs (workload, cluster). Jobs
+	// defaults to 120 on the paper-real cluster.
+	Base Options
+}
+
+// score turns one evaluation run into the scalar the search maximises:
+// the Eq. 7 objective computed on final run metrics with the candidate
+// weights.
+func tuneScore(betas [5]float64, r *Result) float64 {
+	g := [5]float64{
+		1 / (1 + r.AvgJCTSec/3600),
+		r.DeadlineRatio,
+		1 / (1 + r.Counters.BandwidthMB/1024/1024),
+		r.AccuracyRatio,
+		r.AvgAccuracy,
+	}
+	var s float64
+	for i := range g {
+		s += betas[i] * g[i]
+	}
+	return s
+}
+
+// TuneRewardWeights searches for a good (β₁..β₅) combination for the
+// MLF-RL reward (Eq. 7) using the paper's §3.4 procedure: a limited
+// number of search rounds over the weight space, then local refinement
+// that slightly varies each value of the best result, keeping the
+// combination with the highest achieved reward. (The paper substitutes
+// this for full Bayesian optimisation, whose time overhead it rejects.)
+func TuneRewardWeights(cfg TuneConfig) (*TuneResult, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.Perturbations <= 0 {
+		cfg.Perturbations = 8
+	}
+	base := cfg.Base
+	if base.Jobs <= 0 && base.Trace == nil {
+		base.Jobs = 120
+	}
+	if base.Trace == nil {
+		base.Trace = GenerateTrace(base.Jobs, base.Seed, DefaultTraceDuration(base.Jobs))
+	}
+	base.Scheduler = "mlf-rl"
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	evaluate := func(betas [5]float64) (TuneTrial, error) {
+		opts := base
+		opts.SchedOpts.Betas = betas
+		if opts.SchedOpts.Seed == 0 {
+			opts.SchedOpts.Seed = cfg.Seed + 1
+		}
+		res, err := Run(opts)
+		if err != nil {
+			return TuneTrial{}, fmt.Errorf("mlfs: tune eval: %w", err)
+		}
+		return TuneTrial{Betas: betas, Score: tuneScore(betas, res)}, nil
+	}
+
+	out := &TuneResult{Score: -1}
+	try := func(betas [5]float64) error {
+		tr, err := evaluate(betas)
+		if err != nil {
+			return err
+		}
+		out.Trials = append(out.Trials, tr)
+		if tr.Score > out.Score {
+			out.Score = tr.Score
+			out.Betas = tr.Betas
+		}
+		return nil
+	}
+
+	// Phase 1: limited search, starting from the paper's defaults.
+	if err := try([5]float64{0.5, 0.55, 0.25, 0.15, 0.15}); err != nil {
+		return nil, err
+	}
+	for i := 1; i < cfg.Rounds; i++ {
+		var b [5]float64
+		for k := range b {
+			b[k] = 0.05 + 0.75*rng.Float64()
+		}
+		if err := try(b); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: local refinement around the best combination.
+	for i := 0; i < cfg.Perturbations; i++ {
+		b := out.Betas
+		for k := range b {
+			b[k] *= 1 + 0.15*(2*rng.Float64()-1)
+			if b[k] < 0.01 {
+				b[k] = 0.01
+			}
+		}
+		if err := try(b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package mlfs
+
+import "testing"
+
+func TestTuneRewardWeights(t *testing.T) {
+	res, err := TuneRewardWeights(TuneConfig{
+		Rounds:        3,
+		Perturbations: 2,
+		Seed:          5,
+		Base: Options{Jobs: 15, Seed: 5, Servers: 4, GPUsPerServer: 4,
+			SchedOpts: SchedulerOptions{ImitationRounds: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 5 {
+		t.Fatalf("trials = %d, want 5", len(res.Trials))
+	}
+	if res.Score <= 0 {
+		t.Fatalf("score = %v", res.Score)
+	}
+	// The returned best must be the max over trials.
+	for _, tr := range res.Trials {
+		if tr.Score > res.Score {
+			t.Fatal("best score is not the maximum")
+		}
+	}
+	for _, b := range res.Betas {
+		if b <= 0 {
+			t.Fatal("non-positive beta")
+		}
+	}
+}
+
+func TestTuneScoreOrdersResults(t *testing.T) {
+	betas := [5]float64{0.5, 0.55, 0.25, 0.15, 0.15}
+	good := &Result{AvgJCTSec: 600, DeadlineRatio: 0.9, AccuracyRatio: 0.9, AvgAccuracy: 0.8}
+	bad := &Result{AvgJCTSec: 60000, DeadlineRatio: 0.2, AccuracyRatio: 0.2, AvgAccuracy: 0.3}
+	bad.Counters.BandwidthMB = 1 << 30
+	if tuneScore(betas, good) <= tuneScore(betas, bad) {
+		t.Fatal("better run must score higher")
+	}
+}
