@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is the gate every change must pass:
+# vet, the full test suite, and the test suite again under the race
+# detector (the simulator fans per-tick work out over a goroutine pool, so
+# races are a first-class failure mode here).
+
+GO ?= go
+
+.PHONY: all build test vet race ci bench simbench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet test race
+
+# Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
+# cache, demand wobble), with allocation counts.
+bench:
+	$(GO) test ./internal/sim/ -run xxx -bench 'BenchmarkTick|BenchmarkIterationTime|BenchmarkWobbleDemands' -benchmem
+
+# End-to-end hot-path numbers -> results/BENCH_sim.json.
+simbench:
+	$(GO) run ./cmd/mlfs-bench -out results -simbench

@@ -3,19 +3,27 @@
 // figure into -out, and checks the measured results against the paper's
 // expected orderings (shape.txt).
 //
+// With -simbench it instead profiles the simulator hot path itself
+// (ns/tick, allocs/tick, jobs per wall-second; serial vs parallel job
+// advancement) and writes the machine-readable BENCH_sim.json used to
+// track scheduler-loop performance across revisions.
+//
 // Examples:
 //
 //	mlfs-bench -out results/                   # everything, Figure-4 scale
 //	mlfs-bench -out results/ -figure fig4      # just the Figure-4 family
 //	mlfs-bench -out results/ -scale 100        # Figure 5 at 1/100 job counts
 //	mlfs-bench -out results/ -quick -ascii     # fast pass with ASCII charts
+//	mlfs-bench -out results/ -simbench         # hot-path numbers -> BENCH_sim.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -34,11 +42,22 @@ func main() {
 		ascii    = flag.Bool("ascii", false, "also print each figure as an ASCII chart")
 		countsCS = flag.String("counts", "", "override Figure 4/6-9 job counts (comma-separated)")
 		simMax   = flag.Int("sim-counts", 3, "how many Figure 5 job counts to run (1-5)")
+		simbench = flag.Bool("simbench", false, "profile the simulator hot path and write BENCH_sim.json")
+		benchJob = flag.Int("simbench-jobs", 155, "job count for -simbench runs")
+		benchRep = flag.Int("simbench-reps", 3, "repetitions per -simbench configuration")
+		baseWall = flag.Float64("simbench-baseline", 60.27,
+			"recorded wall-seconds of the headline large-scale sweep before the hot-path optimisation (0 to omit the comparison)")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *simbench {
+		if err := runSimBench(filepath.Join(*out, "BENCH_sim.json"), *seed, *benchJob, *benchRep, *baseWall); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	schedulers := mlfs.SchedulerNames()
 	if *schedCS != "" {
@@ -187,6 +206,144 @@ func writeShapeReport(path string, results map[string][]*mlfs.Result) error {
 			status, o.Metric, o.Better, o.Worse, o.BetterValue, o.WorseValue)
 	}
 	fmt.Fprintf(f, "\n%d/%d expected orderings hold\n", pass, len(outcomes))
+	return nil
+}
+
+// simBenchEntry is one measured configuration of the hot-path benchmark.
+type simBenchEntry struct {
+	Scheduler      string  `json:"scheduler"`
+	Jobs           int     `json:"jobs"`
+	AdvanceWorkers int     `json:"advance_workers"`
+	Reps           int     `json:"reps"`
+	WallSeconds    float64 `json:"wall_seconds"` // best-of-reps for one full run
+	Ticks          int     `json:"ticks"`
+	NsPerTick      float64 `json:"ns_per_tick"`
+	AllocsPerTick  float64 `json:"allocs_per_tick"`
+	JobsPerWallSec float64 `json:"jobs_per_wall_second"`
+	AvgJCTMin      float64 `json:"avg_jct_min"` // result fingerprint: must not move with workers
+}
+
+// simBenchHeadline is the BenchmarkFig5_LargeScale-equivalent workload
+// (the avg-JCT sweep over the large-scale cluster at 1/1000 job counts),
+// timed end to end and compared against the recorded pre-optimisation
+// wall time on the same machine class.
+type simBenchHeadline struct {
+	Benchmark        string  `json:"benchmark"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	BaselineWallSecs float64 `json:"baseline_wall_seconds,omitempty"`
+	Speedup          float64 `json:"speedup_vs_baseline,omitempty"`
+	MLFSAvgJCTMin    float64 `json:"mlfs_avg_jct_min"` // result fingerprint
+}
+
+// simBenchReport is the BENCH_sim.json schema.
+type simBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Seed        int64             `json:"seed"`
+	Headline    *simBenchHeadline `json:"headline,omitempty"`
+	Entries     []simBenchEntry   `json:"entries"`
+}
+
+// runSimBench measures complete simulation runs (trace generation
+// excluded) for representative schedulers, serial versus pooled job
+// advancement, and writes the machine-readable report. Wall time is
+// best-of-reps; allocations per tick are the total heap alloc count of a
+// run divided by its scheduling rounds.
+func runSimBench(path string, seed int64, jobs, reps int, baselineWall float64) error {
+	if reps < 1 {
+		reps = 1
+	}
+	report := simBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:        seed,
+	}
+
+	// Headline: the same sweep BenchmarkFig5_LargeScale runs.
+	hlSchedulers := []string{"mlfs", "mlf-rl", "mlf-h", "graphene", "tiresias", "gandiva", "tensorflow", "slaq"}
+	hlBase := mlfs.Options{Seed: 1, SchedOpts: mlfs.SchedulerOptions{Seed: 1}, Preset: mlfs.PaperSim}
+	hlStart := time.Now()
+	fig, err := mlfs.Figure4(mlfs.FigAvgJCT, hlSchedulers, mlfs.PaperSimJobCounts(1000)[:3], hlBase)
+	if err != nil {
+		return err
+	}
+	hl := &simBenchHeadline{
+		Benchmark:   "BenchmarkFig5_LargeScale",
+		WallSeconds: time.Since(hlStart).Seconds(),
+	}
+	for _, s := range fig.Series {
+		if s.Label == "mlfs" && len(s.Points) > 0 {
+			hl.MLFSAvgJCTMin = s.Points[len(s.Points)-1].Y
+		}
+	}
+	if baselineWall > 0 {
+		hl.BaselineWallSecs = baselineWall
+		hl.Speedup = baselineWall / hl.WallSeconds
+	}
+	report.Headline = hl
+	fmt.Printf("simbench headline    %.2fs wall (baseline %.2fs, %.2fx)  mlfs avg JCT %.1f min\n",
+		hl.WallSeconds, hl.BaselineWallSecs, hl.Speedup, hl.MLFSAvgJCTMin)
+	base := mlfs.Options{Seed: seed, SchedOpts: mlfs.SchedulerOptions{Seed: seed}, Preset: mlfs.PaperReal}
+	tr := mlfs.GenerateTrace(jobs, seed, mlfs.DefaultTraceDuration(jobs))
+	for _, schedName := range []string{"mlfs", "mlf-h", "tiresias"} {
+		for _, workers := range []int{1, 0} { // serial, then GOMAXPROCS pool
+			opts := base
+			opts.Scheduler = schedName
+			opts.Trace = tr
+			opts.AdvanceWorkers = workers
+			var best *mlfs.Result
+			bestWall := 0.0
+			var allocsPerTick float64
+			for r := 0; r < reps; r++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				res, err := mlfs.Run(opts)
+				wall := time.Since(start).Seconds()
+				runtime.ReadMemStats(&m1)
+				if err != nil {
+					return err
+				}
+				if best == nil || wall < bestWall {
+					best, bestWall = res, wall
+					if res.Counters.SchedRounds > 0 {
+						allocsPerTick = float64(m1.Mallocs-m0.Mallocs) / float64(res.Counters.SchedRounds)
+					}
+				}
+			}
+			entry := simBenchEntry{
+				Scheduler:      schedName,
+				Jobs:           jobs,
+				AdvanceWorkers: workers,
+				Reps:           reps,
+				WallSeconds:    bestWall,
+				Ticks:          best.Counters.SchedRounds,
+				AllocsPerTick:  allocsPerTick,
+				JobsPerWallSec: float64(jobs) / bestWall,
+				AvgJCTMin:      best.AvgJCTSec / 60,
+			}
+			if entry.Ticks > 0 {
+				entry.NsPerTick = bestWall * 1e9 / float64(entry.Ticks)
+			}
+			report.Entries = append(report.Entries, entry)
+			fmt.Printf("simbench %-9s workers=%d  %.2fs wall  %.0f ns/tick  %.1f allocs/tick  %.1f jobs/s\n",
+				schedName, workers, bestWall, entry.NsPerTick, entry.AllocsPerTick, entry.JobsPerWallSec)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s -> %s\n", "simbench", path)
 	return nil
 }
 

@@ -1,0 +1,45 @@
+package mlfs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAdvanceWorkersDeterminism pins the simulator's central parallelism
+// guarantee: the per-tick job-advancement fan-out (sim.Config.AdvanceWorkers)
+// must not change results. The fully serial path (1 worker) and a wide
+// pool must produce bit-identical metrics for the same seed, across the
+// MLFS scheduler and baselines with very different action mixes
+// (Tiresias never migrates; Gandiva migrates heavily).
+func TestAdvanceWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism check")
+	}
+	for _, name := range []string{"mlfs", "tiresias", "gandiva"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *Result {
+				res, err := Run(Options{
+					Scheduler:      name,
+					Jobs:           60,
+					Seed:           11,
+					SchedOpts:      SchedulerOptions{Seed: 11},
+					AdvanceWorkers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// SchedSeconds is wall-clock, the one legitimately
+				// non-deterministic field.
+				res.Counters.SchedSeconds = 0
+				return res
+			}
+			serial := run(1)
+			parallel := run(8)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("results differ between 1 and 8 advance workers:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}

@@ -64,10 +64,34 @@ type Server struct {
 	used     Vec
 	devices  []*Device
 	tasks    map[TaskRef]*Placement
+
+	// epoch counts load changes on this server (placements, removals,
+	// demand updates). It lets callers cache anything derived from the
+	// server's load and invalidate with a single integer comparison
+	// instead of recomputing: the simulator keys its per-job iteration
+	// cost cache on the epochs of the servers the job touches.
+	epoch uint64
+
+	// Epoch-keyed caches of the derived load quantities the schedulers
+	// probe many times per round. An entry is valid when its epoch field
+	// equals the server epoch; cache epochs start at ^0 so a fresh server
+	// (epoch 0) recomputes on first use.
+	utilAt Vec
+	utilEp uint64
+	normAt float64
+	normEp uint64
+	ovlAt  bool
+	ovlHR  float64
+	ovlEp  uint64
 }
 
 // ID returns the server index.
 func (s *Server) ID() int { return s.id }
+
+// Epoch returns the server's load epoch: a counter bumped by every
+// placement, removal or demand update on this server. Two equal epoch
+// reads bracket an unchanged load state.
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // Capacity returns the per-resource capacity vector.
 func (s *Server) Capacity() Vec { return s.capacity }
@@ -75,17 +99,42 @@ func (s *Server) Capacity() Vec { return s.capacity }
 // Used returns the per-resource consumption vector.
 func (s *Server) Used() Vec { return s.used }
 
+// bump invalidates the derived-load caches by advancing the epoch.
+func (s *Server) bump() { s.epoch++ }
+
 // Utilization returns the utilisation vector U_s = used/capacity (§3.3.2).
-func (s *Server) Utilization() Vec { return s.used.Div(s.capacity) }
+func (s *Server) Utilization() Vec {
+	if s.utilEp != s.epoch {
+		s.utilAt = s.used.Div(s.capacity)
+		s.utilEp = s.epoch
+	}
+	return s.utilAt
+}
 
 // OverloadDegree returns ||U_s||, the server overload degree O_s (§3.5).
-func (s *Server) OverloadDegree() float64 { return s.Utilization().Norm() }
+func (s *Server) OverloadDegree() float64 {
+	if s.normEp != s.epoch {
+		s.normAt = s.Utilization().Norm()
+		s.normEp = s.epoch
+	}
+	return s.normAt
+}
 
 // Overloaded reports whether any resource utilisation exceeds hr, the
 // paper's per-resource overload threshold h_r (§3.3.2: "type-m resource in
 // a server is overloaded if u_m > h_r"; a server with at least one
 // overloaded resource is overloaded).
 func (s *Server) Overloaded(hr float64) bool {
+	if s.ovlEp == s.epoch && s.ovlHR == hr {
+		return s.ovlAt
+	}
+	s.ovlAt = s.overloaded(hr)
+	s.ovlHR = hr
+	s.ovlEp = s.epoch
+	return s.ovlAt
+}
+
+func (s *Server) overloaded(hr float64) bool {
 	if s.Utilization().AnyAbove(hr) {
 		return true
 	}
@@ -148,7 +197,22 @@ func (s *Server) LeastLoadedDevice() *Device {
 type Cluster struct {
 	servers    []*Server
 	placements map[TaskRef]*Placement
+
+	// epoch counts every load change anywhere in the cluster; see
+	// Server.Epoch. odegAt/odegEp memoise the cluster overload degree,
+	// which schedulers evaluate several times per round (it is a full
+	// scan over servers otherwise).
+	epoch  uint64
+	odegAt float64
+	odegEp uint64
 }
+
+// Epoch returns the cluster-wide load epoch: a counter bumped by every
+// placement, removal or demand update on any server.
+func (c *Cluster) Epoch() uint64 { return c.epoch }
+
+// bump invalidates cluster-level derived-load caches.
+func (c *Cluster) bump() { c.epoch++ }
 
 // Config describes a homogeneous cluster. The paper's real testbed is 20
 // servers x 4 V100 GPUs (§4.1); the large-scale simulation is 550 servers
@@ -204,7 +268,7 @@ func (cfg Config) TotalGPUs() int {
 // New builds a cluster from cfg. A GPUsPerServer of -1 selects the paper's
 // 2474-GPU layout over 550 servers (274 servers with 5 GPUs, 276 with 4).
 func New(cfg Config) *Cluster {
-	c := &Cluster{placements: make(map[TaskRef]*Placement)}
+	c := &Cluster{placements: make(map[TaskRef]*Placement), odegEp: ^uint64(0)}
 	for i := 0; i < cfg.Servers; i++ {
 		n := cfg.GPUsPerServer
 		if n < 0 {
@@ -217,8 +281,11 @@ func New(cfg Config) *Cluster {
 			}
 		}
 		s := &Server{
-			id:    i,
-			tasks: make(map[TaskRef]*Placement),
+			id:     i,
+			tasks:  make(map[TaskRef]*Placement),
+			utilEp: ^uint64(0), // cache epochs start invalid (epoch is 0)
+			normEp: ^uint64(0),
+			ovlEp:  ^uint64(0),
 		}
 		s.capacity = Vec{
 			ResGPU:       float64(n) * cfg.GPUCapacity,
@@ -288,6 +355,8 @@ func (c *Cluster) Place(t TaskRef, server, device int, demand Vec, gpuShare floa
 	d.tasks[t] = gpuShare
 	s.tasks[t] = p
 	c.placements[t] = p
+	s.bump()
+	c.bump()
 	return nil
 }
 
@@ -308,6 +377,8 @@ func (c *Cluster) Remove(t TaskRef) *Placement {
 	delete(d.tasks, t)
 	delete(s.tasks, t)
 	delete(c.placements, t)
+	s.bump()
+	c.bump()
 	return p
 }
 
@@ -320,17 +391,27 @@ func (c *Cluster) SetDemand(t TaskRef, demand Vec, gpuShare float64) bool {
 	if !ok {
 		return false
 	}
+	c.UpdateDemand(p, demand, gpuShare)
+	return true
+}
+
+// UpdateDemand is SetDemand for a placement the caller already holds: it
+// skips the task lookup, which matters on the per-task-per-tick demand
+// wobble path. p must be a live placement of this cluster (as returned by
+// Lookup or Place — not a stale copy).
+func (c *Cluster) UpdateDemand(p *Placement, demand Vec, gpuShare float64) {
 	s := c.servers[p.Server]
 	s.used = s.used.Sub(p.Demand).Add(demand).Clamp()
 	d := s.devices[p.Device]
-	d.load += gpuShare - d.tasks[t]
+	d.load += gpuShare - d.tasks[p.Task]
 	if d.load < 0 {
 		d.load = 0
 	}
-	d.tasks[t] = gpuShare
+	d.tasks[p.Task] = gpuShare
 	p.Demand = demand
 	p.GPUShare = gpuShare
-	return true
+	s.bump()
+	c.bump()
 }
 
 // Fits reports whether placing demand/gpuShare on (server, device) keeps
@@ -379,11 +460,16 @@ func (c *Cluster) OverloadDegree() float64 {
 	if len(c.servers) == 0 {
 		return 0
 	}
+	if c.odegEp == c.epoch {
+		return c.odegAt
+	}
 	var sum float64
 	for _, s := range c.servers {
 		sum += s.OverloadDegree()
 	}
-	return sum / float64(len(c.servers))
+	c.odegAt = sum / float64(len(c.servers))
+	c.odegEp = c.epoch
+	return c.odegAt
 }
 
 // MeanUtilization returns the mean utilisation vector across servers.

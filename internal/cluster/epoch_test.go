@@ -1,0 +1,117 @@
+package cluster
+
+import "testing"
+
+// The load-epoch counters are the invalidation signal for every cache
+// above the cluster (server utilisation, the simulator's iteration-cost
+// memo). These tests pin their contract: every load mutation bumps the
+// touched server's epoch and the cluster epoch; reads never do.
+
+func TestEpochBumpsOnLoadChanges(t *testing.T) {
+	c := smallCluster()
+	s0, s1 := c.Server(0), c.Server(1)
+	e0, e1, ec := s0.Epoch(), s1.Epoch(), c.Epoch()
+
+	d := Vec{ResGPU: 1, ResCPU: 2, ResMemory: 4, ResBandwidth: 10}
+	if err := c.Place(1, 0, 0, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s0.Epoch() == e0 {
+		t.Fatal("Place must bump the target server's epoch")
+	}
+	if s1.Epoch() != e1 {
+		t.Fatal("Place must not bump other servers' epochs")
+	}
+	if c.Epoch() == ec {
+		t.Fatal("Place must bump the cluster epoch")
+	}
+
+	e0 = s0.Epoch()
+	p := c.Lookup(1)
+	if p == nil {
+		t.Fatal("placement lost")
+	}
+	c.UpdateDemand(p, Vec{ResGPU: 0.5, ResCPU: 1, ResMemory: 4, ResBandwidth: 5}, 0.5)
+	if s0.Epoch() == e0 {
+		t.Fatal("UpdateDemand must bump the server epoch")
+	}
+
+	e0 = s0.Epoch()
+	if !c.SetDemand(1, d, 1) {
+		t.Fatal("SetDemand failed")
+	}
+	if s0.Epoch() == e0 {
+		t.Fatal("SetDemand must bump the server epoch")
+	}
+
+	e0, ec = s0.Epoch(), c.Epoch()
+	if c.Remove(1) == nil {
+		t.Fatal("Remove failed")
+	}
+	if s0.Epoch() == e0 || c.Epoch() == ec {
+		t.Fatal("Remove must bump server and cluster epochs")
+	}
+}
+
+func TestEpochStableUnderReads(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 1, ResCPU: 2, ResMemory: 4, ResBandwidth: 10}
+	if err := c.Place(1, 0, 0, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	s0 := c.Server(0)
+	e0, ec := s0.Epoch(), c.Epoch()
+	_ = s0.Utilization()
+	_ = s0.OverloadDegree()
+	_ = s0.Overloaded(0.9)
+	_ = c.OverloadDegree()
+	_ = c.Lookup(1)
+	_ = c.MeanUtilization()
+	if s0.Epoch() != e0 || c.Epoch() != ec {
+		t.Fatal("reads must not bump epochs")
+	}
+}
+
+// The memoised server accessors must be transparent: after a mutation
+// they return exactly what a fresh computation returns.
+func TestMemoisedAccessorsTrackMutations(t *testing.T) {
+	c := smallCluster()
+	s0 := c.Server(0)
+	d := Vec{ResGPU: 1, ResCPU: 4, ResMemory: 16, ResBandwidth: 50}
+	if err := c.Place(1, 0, 0, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	u1 := s0.Utilization()
+	if got := s0.Used().Div(s0.Capacity()); got != u1 {
+		t.Fatalf("Utilization %v != used/capacity %v", u1, got)
+	}
+	// Second read: cached path must return the identical value.
+	if got := s0.Utilization(); got != u1 {
+		t.Fatalf("cached Utilization %v != first read %v", got, u1)
+	}
+	// Mutate and re-read: the cache must invalidate.
+	if err := c.Place(2, 0, 1, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	u2 := s0.Utilization()
+	if u2 == u1 {
+		t.Fatal("Utilization did not change after a second placement")
+	}
+	if got := s0.Used().Div(s0.Capacity()); got != u2 {
+		t.Fatalf("post-mutation Utilization %v != used/capacity %v", u2, got)
+	}
+	od := s0.OverloadDegree()
+	if od2 := s0.OverloadDegree(); od2 != od {
+		t.Fatalf("cached OverloadDegree %v != %v", od2, od)
+	}
+	cd := c.OverloadDegree()
+	if cd2 := c.OverloadDegree(); cd2 != cd {
+		t.Fatalf("cached cluster OverloadDegree %v != %v", cd2, cd)
+	}
+	if c.Remove(2) == nil {
+		t.Fatal("Remove failed")
+	}
+	if got := s0.Utilization(); got != u1 {
+		t.Fatalf("after removing the second task Utilization = %v, want %v", got, u1)
+	}
+}

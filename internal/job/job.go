@@ -190,6 +190,12 @@ type Job struct {
 
 	// --- Dynamic training state (owned by the simulator) ---
 
+	// SimIndex is the simulator-assigned dense index of the job within
+	// its run (0..n-1 in arrival order). It lets the simulator keep
+	// per-job state in flat slices instead of maps on the per-tick hot
+	// path. Zero until a simulator adopts the job.
+	SimIndex int
+
 	State State
 	// Progress counts completed iterations, fractional during a tick.
 	Progress float64

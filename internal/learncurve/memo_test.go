@@ -1,0 +1,85 @@
+package learncurve
+
+import (
+	"math"
+	"testing"
+)
+
+// The Fit memo and the incremental recency-power table must be invisible:
+// a predictor that has been fitted after every observation (warm memo,
+// incrementally grown power table) must return bit-identical fits to a
+// fresh predictor that sees the same observations and fits once.
+func TestFitMemoBitIdentical(t *testing.T) {
+	curve := func(i int) float64 { return 0.9 * (1 - math.Exp(-0.01*float64(i))) }
+	warm := &Predictor{}
+	for i := 1; i <= 60; i++ {
+		warm.Observe(i, curve(i))
+		warm.Fit() // populate the memo at every count along the way
+	}
+	cold := &Predictor{}
+	for i := 1; i <= 60; i++ {
+		cold.Observe(i, curve(i))
+	}
+	wa, wr, wc, wok := warm.Fit()
+	ca, cr, cc, cok := cold.Fit()
+	if wa != ca || wr != cr || wc != cc || wok != cok {
+		t.Fatalf("memoised fit diverged: warm=(%v %v %v %v) cold=(%v %v %v %v)",
+			wa, wr, wc, wok, ca, cr, cc, cok)
+	}
+}
+
+// Repeated Fit calls without new observations must be served from the
+// memo — same values, and (the point of the memo) no re-fit.
+func TestFitMemoStableAcrossCalls(t *testing.T) {
+	p := &Predictor{}
+	for i := 1; i <= 20; i++ {
+		p.Observe(i, 0.8*(1-math.Exp(-0.05*float64(i))))
+	}
+	a1, r1, c1, ok1 := p.Fit()
+	if !ok1 {
+		t.Fatal("fit failed on a clean exponential")
+	}
+	for k := 0; k < 5; k++ {
+		a, r, c, ok := p.Fit()
+		if a != a1 || r != r1 || c != c1 || ok != ok1 {
+			t.Fatalf("call %d diverged: (%v %v %v %v) vs (%v %v %v %v)", k, a, r, c, ok, a1, r1, c1, ok1)
+		}
+	}
+	// A new observation must invalidate the memo.
+	p.Observe(21, 0.8*(1-math.Exp(-0.05*21)))
+	a2, _, _, ok2 := p.Fit()
+	if !ok2 {
+		t.Fatal("fit failed after new observation")
+	}
+	if a2 == a1 {
+		// Not an error per se, but with a changing weight vector the
+		// asymptote should move at least in the last bits; if it is
+		// exactly equal the memo may not have invalidated. Distinguish by
+		// checking the fit count advanced.
+		if p.fitN != 21 {
+			t.Fatalf("memo not refreshed: fitN=%d", p.fitN)
+		}
+	}
+}
+
+// The recency-power table must survive a Recency change (stale powers
+// would silently corrupt every subsequent fit).
+func TestFitRecencyChangeInvalidatesPowers(t *testing.T) {
+	p := &Predictor{}
+	for i := 1; i <= 30; i++ {
+		p.Observe(i, 0.7*(1-math.Exp(-0.02*float64(i))))
+	}
+	p.Fit() // builds powers for the default recency 0.97
+	p.Recency = 0.5
+	a, r, c, ok := p.Fit()
+
+	q := &Predictor{Recency: 0.5}
+	for i := 1; i <= 30; i++ {
+		q.Observe(i, 0.7*(1-math.Exp(-0.02*float64(i))))
+	}
+	qa, qr, qc, qok := q.Fit()
+	if a != qa || r != qr || c != qc || ok != qok {
+		t.Fatalf("recency change left stale powers: (%v %v %v %v) vs fresh (%v %v %v %v)",
+			a, r, c, ok, qa, qr, qc, qok)
+	}
+}

@@ -22,7 +22,44 @@ type Predictor struct {
 	// observations equally; values < 1 emphasise recent iterations (the
 	// "weighted" part of the paper's model). Default 0.97.
 	Recency float64
+
+	// Fit memo: the fit is a pure function of (iters, accs, Recency), and
+	// observations are append-only, so a fit computed at n observations
+	// stays valid until the n+1th arrives. Schedulers call Fit several
+	// times per round per job (stop decisions, accuracy extrapolation),
+	// which made the from-scratch fit the simulator's hottest path; the
+	// memo collapses those calls to one fit per new observation.
+	fitN    int // observation count the memo was computed at (0 = none)
+	fitRec  float64
+	fitAmax float64
+	fitRate float64
+	fitConf float64
+	fitOK   bool
+
+	// pows caches Recency^k. The weights {rec^0 … rec^(n-1)} only gain one
+	// element as n grows, so each power is computed once with math.Pow —
+	// bit-identical to recomputing the whole weight vector every call.
+	pows []float64
+
+	// expf caches the curve basis 1 − e^(−r·iters[j]) per grid rate:
+	// expf[ri][j] for fitRates[ri]. Each term depends only on the rate
+	// grid (fixed) and one observation (append-only), so it is computed
+	// once; the fit's inner loops then run multiply-adds with the exact
+	// float64s a from-scratch evaluation would produce. This removes the
+	// 2·|rates|·n exp calls per fit that dominated simulation profiles.
+	expf [][]float64
 }
+
+// fitRates is the log-spaced rate grid of the fit, covering very slow to
+// very fast convergence. Built by the same successive multiplication the
+// fit loop historically ran, so the grid values are bit-identical to it.
+var fitRates = func() []float64 {
+	var rs []float64
+	for r := 1e-4; r <= 2.0; r *= 1.25 {
+		rs = append(rs, r)
+	}
+	return rs
+}()
 
 // Observe appends the accuracy measured after iteration iter. Observations
 // must be appended in increasing iteration order; out-of-order points are
@@ -57,18 +94,35 @@ func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
 	if rec <= 0 || rec > 1 {
 		rec = 0.97
 	}
-	w := make([]float64, n)
-	for j := range w {
-		w[j] = math.Pow(rec, float64(n-1-j))
+	if p.fitN == n && p.fitRec == rec {
+		return p.fitAmax, p.fitRate, p.fitConf, p.fitOK
+	}
+	if len(p.pows) > 0 && p.fitRec != rec {
+		p.pows = p.pows[:0] // Recency changed: the cached powers are stale
+	}
+	for k := len(p.pows); k < n; k++ {
+		p.pows = append(p.pows, math.Pow(rec, float64(k)))
+	}
+	// w_j = rec^(n-1-j), read out of the shared power table.
+	w := p.pows[:n]
+	// Extend the basis cache to cover the new observations.
+	if p.expf == nil {
+		p.expf = make([][]float64, len(fitRates))
+	}
+	for ri, r := range fitRates {
+		col := p.expf[ri]
+		for j := len(col); j < n; j++ {
+			col = append(col, 1-math.Exp(-r*float64(p.iters[j])))
+		}
+		p.expf[ri] = col
 	}
 	bestSSE := math.Inf(1)
-	// Log-spaced rate grid covering very slow to very fast convergence.
-	for r := 1e-4; r <= 2.0; r *= 1.25 {
+	for ri, r := range fitRates {
+		F := p.expf[ri][:n]
 		var num, den float64
-		for j, it := range p.iters {
-			f := 1 - math.Exp(-r*float64(it))
-			num += w[j] * p.accs[j] * f
-			den += w[j] * f * f
+		for j := range p.iters {
+			num += w[n-1-j] * p.accs[j] * F[j]
+			den += w[n-1-j] * F[j] * F[j]
 		}
 		if den == 0 {
 			continue
@@ -78,11 +132,11 @@ func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
 			continue
 		}
 		var sse, wsum float64
-		for j, it := range p.iters {
-			f := a * (1 - math.Exp(-r*float64(it)))
+		for j := range p.iters {
+			f := a * F[j]
 			d := p.accs[j] - f
-			sse += w[j] * d * d
-			wsum += w[j]
+			sse += w[n-1-j] * d * d
+			wsum += w[n-1-j]
 		}
 		sse /= wsum
 		if sse < bestSSE {
@@ -90,6 +144,8 @@ func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
 		}
 	}
 	if math.IsInf(bestSSE, 1) {
+		p.fitN, p.fitRec = n, rec
+		p.fitAmax, p.fitRate, p.fitConf, p.fitOK = 0, 0, 0, false
 		return 0, 0, 0, false
 	}
 	// Confidence shrinks with the (weighted RMS) residual relative to the
@@ -99,6 +155,8 @@ func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
 	if confidence < 0 {
 		confidence = 0
 	}
+	p.fitN, p.fitRec = n, rec
+	p.fitAmax, p.fitRate, p.fitConf, p.fitOK = amax, rate, confidence, true
 	return amax, rate, confidence, true
 }
 

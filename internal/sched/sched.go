@@ -78,6 +78,26 @@ func NewContext(now float64, cl *cluster.Cluster, jobs []*job.Job, waiting []*jo
 	return ctx
 }
 
+// Reset re-primes the context for a new scheduling round, reusing the
+// task index (byRef) built at construction time: tasks of jobs not passed
+// to NewContext are unknown to the reset context. The waiting map is
+// shared with the caller rather than copied — Place removes entries from
+// it and Evict adds them, so after Schedule returns it is already the
+// up-to-date queue. This is what keeps the simulator's per-tick hot path
+// allocation-free: one context lives for the whole run.
+func (c *Context) Reset(now float64, jobs []*job.Job, waiting map[job.TaskID]*job.Task) {
+	c.Now = now
+	c.jobs = jobs
+	c.waiting = waiting
+	c.Completed = nil
+	c.RecentBandwidthMB = 0
+	c.Placements = 0
+	c.Migrations = 0
+	c.Evictions = 0
+	c.MigratedMB = 0
+	c.Stopped = c.Stopped[:0]
+}
+
 // Jobs returns every non-finished job, ordered by id.
 func (c *Context) Jobs() []*job.Job { return c.jobs }
 

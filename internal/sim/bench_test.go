@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"mlfs/internal/job"
+	"mlfs/internal/sched"
+)
+
+// noopSched holds the cluster exactly as it is: no placements, no
+// migrations, no stops. It freezes a warmed simulator in steady state so
+// the tick machinery itself can be measured.
+type noopSched struct{}
+
+func (noopSched) Name() string            { return "noop-test" }
+func (noopSched) Schedule(*sched.Context) {}
+
+// steadySim builds a simulator, warms it with real ticks under fifoGang
+// until arrivals are admitted and placed, then freezes the policy with
+// noopSched. The returned sim is mid-run: active jobs, warm caches, warm
+// scratch buffers.
+func steadySim(tb testing.TB, jobs int, workers int) *Simulator {
+	tb.Helper()
+	s, err := New(Config{
+		Cluster:        testClusterCfg(),
+		Trace:          smallTrace(jobs, 17),
+		Scheduler:      fifoGang{},
+		AdvanceWorkers: workers,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Admit and place everything the cluster can hold.
+	for s.pending < len(s.jobs) {
+		s.admitArrivals()
+		s.step(s.cfg.TickSec)
+	}
+	if len(s.active) == 0 {
+		tb.Fatal("warmup drained the active set")
+	}
+	s.sched = noopSched{}
+	// One tiny settling tick so every scratch buffer and cache entry has
+	// been through the new policy's path at least once.
+	s.step(1e-6)
+	return s
+}
+
+// BenchmarkTick measures one steady-state scheduler tick end to end
+// (wobble + scheduling round + advance + overload count). The tiny dt
+// keeps the job population fixed so every iteration does the same work.
+func BenchmarkTick(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := steadySim(b, 24, bc.workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.step(1e-6)
+			}
+		})
+	}
+}
+
+// BenchmarkIterationTime measures the per-job iteration-cost computation:
+// the epoch-cache hit path and the full recompute path.
+func BenchmarkIterationTime(b *testing.B) {
+	s := steadySim(b, 8, 1)
+	var j *job.Job
+	for _, cand := range s.active {
+		if s.cache[cand.SimIndex].valid {
+			j = cand
+			break
+		}
+	}
+	if j == nil {
+		b.Fatal("no fully placed job after warmup")
+	}
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.iterationCost(j)
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.cache[j.SimIndex].valid = false
+			s.iterationCost(j)
+		}
+	})
+}
+
+// BenchmarkWobbleDemands measures the per-tick demand update over every
+// placed task (one placement lookup + in-place server/device update per
+// task).
+func BenchmarkWobbleDemands(b *testing.B) {
+	s := steadySim(b, 24, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.wobbleDemands()
+	}
+}
+
+// TestSteadyStateTickAllocs pins the tentpole property: a steady-state
+// tick performs zero heap allocations, serial and pooled alike.
+func TestSteadyStateTickAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool4", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := steadySim(t, 24, tc.workers)
+			if got := testing.AllocsPerRun(200, func() { s.step(1e-6) }); got != 0 {
+				t.Fatalf("steady-state tick allocates: %v allocs/tick", got)
+			}
+		})
+	}
+}

@@ -9,12 +9,22 @@
 // critical path over the task DAG of per-stage compute (inflated by
 // server/device overload) plus cross-server communication time; jobs with
 // unplaced tasks make no progress and accrue waiting time.
+//
+// The per-tick hot path is allocation-free and incrementally cached (see
+// DESIGN.md "Performance"): iteration costs are memoised per job and
+// invalidated by server load epochs, all per-tick buffers are scratch
+// state reused across ticks, and the per-job cost computation inside a
+// tick runs on a worker pool. Results are bit-identical for any worker
+// count, including 1.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlfs/internal/cluster"
@@ -46,6 +56,13 @@ type Config struct {
 	// 30 days). Jobs still unfinished at the horizon are force-finished
 	// and counted as truncated.
 	MaxSimSec float64
+
+	// AdvanceWorkers is the number of goroutines computing per-job
+	// iteration costs within a tick (0 = GOMAXPROCS, 1 = fully serial).
+	// The computation reads frozen cluster state and all cross-job
+	// effects are applied in a serial merge in job order, so results are
+	// bit-identical for every worker count.
+	AdvanceWorkers int
 
 	// Straggler injection (§3.3.3 notes stragglers from failing hardware
 	// and misconfiguration; handling them is the paper's future work,
@@ -95,8 +112,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Simulator executes one run. It is single-goroutine; create a fresh
-// Simulator per run.
+// serverEpoch records the load epoch of one server at the time a job's
+// iteration cost was computed. The cost stays valid exactly as long as
+// every recorded epoch still matches the live server epoch.
+type serverEpoch struct {
+	server int
+	epoch  uint64
+}
+
+// jobIterCache memoises one job's iteration cost. place and touched
+// double as scratch buffers for the computation, so a steady-state
+// recompute allocates nothing.
+type jobIterCache struct {
+	valid   bool
+	iterSec float64
+	crossMB float64
+	// touched holds the distinct servers the job's tasks occupy (and
+	// their epochs at compute time) — also the server set of the
+	// all-reduce cost term.
+	touched []serverEpoch
+	// place caches the task placements, indexed like job.Tasks.
+	place []*cluster.Placement
+}
+
+// advState is the per-job result of the (possibly parallel) preparation
+// phase of a tick.
+type advState struct {
+	fully bool
+}
+
+// minParallelAdvance is the active-job count below which the preparation
+// phase runs inline: fan-out overhead would exceed the work.
+const minParallelAdvance = 16
+
+// advancePool is a persistent worker pool that computes per-job
+// iteration costs against frozen cluster state. It exists so the
+// steady-state tick makes no allocations: workers are spawned once and
+// parked on a channel between ticks.
+type advancePool struct {
+	kick chan struct{}
+	wg   sync.WaitGroup
+	next atomic.Int64
+	n    int
+}
+
+// Simulator executes one run. The simulation itself is single-threaded;
+// within a tick, read-only per-job cost computation fans out over
+// AdvanceWorkers goroutines. Create a fresh Simulator per run.
 type Simulator struct {
 	cfg     Config
 	cl      *cluster.Cluster
@@ -108,12 +170,26 @@ type Simulator struct {
 	now     float64
 
 	counters metrics.Counters
-	// deadlineSnapped marks jobs whose accuracy-at-deadline is recorded.
-	deadlineSnapped map[job.ID]bool
+	// deadlineSnapped marks jobs whose accuracy-at-deadline is recorded,
+	// indexed by job.SimIndex.
+	deadlineSnapped []bool
 
-	// Round feedback handed to reward-driven schedulers.
+	// Round feedback handed to reward-driven schedulers. recentCompleted
+	// and recentSpare are double-buffered across rounds so the handoff
+	// never allocates.
 	recentCompleted []*job.Job
+	recentSpare     []*job.Job
 	lastBWMark      float64
+
+	// Hot-path state: one scheduling context reused for the whole run,
+	// per-job iteration-cost caches invalidated by server load epochs,
+	// scratch buffers recycled across ticks, and the advance worker pool.
+	ctx           *sched.Context
+	cache         []jobIterCache // indexed by job.SimIndex
+	adv           []advState     // indexed like active
+	activeScratch []*job.Job
+	workers       int
+	pool          *advancePool
 }
 
 // New materialises the trace and assembles a simulator.
@@ -130,18 +206,33 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
-	return &Simulator{
+	for i, j := range jobs {
+		j.SimIndex = i
+	}
+	workers := cfg.AdvanceWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cl := cluster.New(cfg.Cluster)
+	s := &Simulator{
 		cfg:             cfg,
-		cl:              cluster.New(cfg.Cluster),
+		cl:              cl,
 		sched:           cfg.Scheduler,
 		jobs:            jobs,
 		waiting:         make(map[job.TaskID]*job.Task),
-		deadlineSnapped: make(map[job.ID]bool),
-	}, nil
+		deadlineSnapped: make([]bool, len(jobs)),
+		cache:           make([]jobIterCache, len(jobs)),
+		workers:         workers,
+	}
+	// One context serves every round; its task index covers all jobs of
+	// the run up front, and Reset re-primes the rest per tick.
+	s.ctx = sched.NewContext(0, cl, jobs, nil, cfg.HR, cfg.HS)
+	return s, nil
 }
 
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() (*metrics.Result, error) {
+	defer s.closePool()
 	dt := s.cfg.TickSec
 	for {
 		s.admitArrivals()
@@ -160,14 +251,21 @@ func (s *Simulator) Run() (*metrics.Result, error) {
 			s.truncate()
 			break
 		}
-		s.wobbleDemands()
-		s.runScheduler()
-		s.advance(dt)
-		s.countOverloads()
-		s.now += dt
+		s.step(dt)
 	}
 	s.counters.SimulatedSec = s.now
 	return metrics.Compute(s.sched.Name(), s.jobs, s.counters), nil
+}
+
+// step executes one scheduler tick: demand wobble, a scheduling round,
+// job advancement and overload accounting. It is the steady-state hot
+// path and performs no heap allocations of its own.
+func (s *Simulator) step(dt float64) {
+	s.wobbleDemands()
+	s.runScheduler()
+	s.advance(dt)
+	s.countOverloads()
+	s.now += dt
 }
 
 // admitArrivals moves newly arrived jobs into the active set and queues
@@ -182,7 +280,7 @@ func (s *Simulator) admitArrivals() {
 		if j.GPUsRequested() > s.cl.NumGPUs() {
 			j.State = job.Stopped
 			j.FinishTime = math.Max(j.Deadline, j.Arrival)
-			s.deadlineSnapped[j.ID] = true
+			s.deadlineSnapped[j.SimIndex] = true
 			s.counters.Rejected++
 			continue
 		}
@@ -204,7 +302,9 @@ func (s *Simulator) activity(t job.TaskID, server int) float64 {
 	return 1 + s.cfg.DemandWobble*math.Sin(2*math.Pi*(s.now/s.cfg.WobblePeriodSec+phase))
 }
 
-// wobbleDemands updates every placed task's demand for this tick.
+// wobbleDemands updates every placed task's demand for this tick. The
+// placement from the single Lookup is updated directly (UpdateDemand), so
+// the per-task cost is one map access instead of two.
 func (s *Simulator) wobbleDemands() {
 	if s.cfg.DemandWobble == 0 {
 		return
@@ -221,40 +321,34 @@ func (s *Simulator) wobbleDemands() {
 			d[cluster.ResBandwidth] *= a
 			gpu := t.GPUShare * a
 			d[cluster.ResGPU] = gpu
-			s.cl.SetDemand(t.ID.Ref(), d, gpu)
+			s.cl.UpdateDemand(p, d, gpu)
 		}
 	}
 }
 
-// runScheduler invokes the policy and applies its stop decisions.
+// runScheduler invokes the policy and applies its stop decisions. The
+// waiting map is shared with the context, so placements and evictions are
+// reflected in it the moment Schedule returns — no rebuild.
 func (s *Simulator) runScheduler() {
-	waiting := make([]*job.Task, 0, len(s.waiting))
-	for _, t := range s.waiting {
-		waiting = append(waiting, t)
-	}
-	ctx := sched.NewContext(s.now, s.cl, s.active, waiting, s.cfg.HR, s.cfg.HS)
-	ctx.Completed = s.recentCompleted
-	ctx.RecentBandwidthMB = s.counters.BandwidthMB - s.lastBWMark
-	s.recentCompleted = nil
+	s.ctx.Reset(s.now, s.active, s.waiting)
+	s.ctx.Completed = s.recentCompleted
+	s.ctx.RecentBandwidthMB = s.counters.BandwidthMB - s.lastBWMark
+	// The buffer handed to the previous round has been consumed; recycle
+	// it as the accumulator for the finishes of this tick.
+	s.recentCompleted, s.recentSpare = s.recentSpare[:0], s.recentCompleted
 	s.lastBWMark = s.counters.BandwidthMB
 	start := time.Now()
-	s.sched.Schedule(ctx)
+	s.sched.Schedule(s.ctx)
 	s.counters.SchedSeconds += time.Since(start).Seconds()
 	s.counters.SchedRounds++
 
-	// Synchronise the waiting set with the context (placements removed
-	// tasks; evictions added them).
-	s.waiting = make(map[job.TaskID]*job.Task)
-	for _, t := range ctx.Waiting() {
-		s.waiting[t.ID] = t
-	}
-	s.counters.Migrations += ctx.Migrations
-	s.counters.Evictions += ctx.Evictions
-	s.counters.BandwidthMB += ctx.MigratedMB
-	s.counters.MigrationMB += ctx.MigratedMB
+	s.counters.Migrations += s.ctx.Migrations
+	s.counters.Evictions += s.ctx.Evictions
+	s.counters.BandwidthMB += s.ctx.MigratedMB
+	s.counters.MigrationMB += s.ctx.MigratedMB
 
-	if len(ctx.Stopped) > 0 {
-		for _, j := range ctx.Stopped {
+	if len(s.ctx.Stopped) > 0 {
+		for _, j := range s.ctx.Stopped {
 			s.finishJob(j, s.now, job.Stopped)
 		}
 		s.pruneActive()
@@ -263,53 +357,79 @@ func (s *Simulator) runScheduler() {
 
 // pruneActive drops Done jobs from the active list.
 func (s *Simulator) pruneActive() {
-	live := make([]*job.Job, 0, len(s.active))
+	live := s.activeScratch[:0]
 	for _, j := range s.active {
 		if !j.Done() {
 			live = append(live, j)
 		}
 	}
+	s.activeScratch = s.active[:0]
 	s.active = live
 }
 
 // iterationCost returns the per-iteration latency and cross-server
-// traffic for a fully placed job under the current cluster state.
+// traffic for a fully placed job under the current cluster state. The
+// value is served from the job's epoch-keyed cache when the load on every
+// server the job touches is unchanged since it was computed.
 func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
-	servers := make(map[int]struct{})
-	place := make([]*cluster.Placement, len(j.Tasks))
-	for i, t := range j.Tasks {
-		p := s.cl.Lookup(t.ID.Ref())
-		if p == nil {
+	c := &s.cache[j.SimIndex]
+	if !(c.valid && s.cacheFresh(c)) {
+		if !s.computeIterCost(j, c) {
 			return math.Inf(1), 0
 		}
-		place[i] = p
-		servers[p.Server] = struct{}{}
 	}
-	slow := func(p *cluster.Placement) float64 {
-		srv := s.cl.Server(p.Server)
-		u := srv.Utilization()
-		f := 1.0
-		for _, x := range []float64{u[cluster.ResGPU], u[cluster.ResCPU], u[cluster.ResMemory],
-			srv.Devices()[p.Device].Utilization()} {
-			if x > f {
-				f = x
+	return c.iterSec, c.crossMB
+}
+
+// cacheFresh reports whether a valid cache entry still reflects the live
+// cluster: every placement, removal or demand change on a server bumps
+// its epoch, so equality over the touched set proves nothing relevant to
+// this job's cost has moved.
+func (s *Simulator) cacheFresh(c *jobIterCache) bool {
+	for _, se := range c.touched {
+		if s.cl.Server(se.server).Epoch() != se.epoch {
+			return false
+		}
+	}
+	return len(c.touched) > 0
+}
+
+// computeIterCost fills c with the job's iteration cost under the current
+// cluster state, reusing c's buffers. It returns false (and leaves c
+// invalid) when any task is unplaced. It only reads cluster state, so it
+// is safe to run for distinct jobs from concurrent workers while the
+// cluster is quiescent.
+func (s *Simulator) computeIterCost(j *job.Job, c *jobIterCache) bool {
+	c.valid = false
+	c.place = c.place[:0]
+	c.touched = c.touched[:0]
+	for _, t := range j.Tasks {
+		p := s.cl.Lookup(t.ID.Ref())
+		if p == nil {
+			return false
+		}
+		c.place = append(c.place, p)
+		seen := false
+		for _, se := range c.touched {
+			if se.server == p.Server {
+				seen = true
+				break
 			}
 		}
-		return f
+		if !seen {
+			c.touched = append(c.touched, serverEpoch{p.Server, s.cl.Server(p.Server).Epoch()})
+		}
 	}
-	effBW := func(server int) float64 {
-		u := s.cl.Server(server).Utilization()[cluster.ResBandwidth]
-		return s.cfg.FlowMBps / math.Max(1, u)
-	}
+	var sec, crossMB float64
 	for _, stage := range j.Stages() {
 		var stageSec float64
 		for _, ti := range stage {
 			t := j.Tasks[ti]
-			p := place[ti]
-			taskSec := t.ComputeSec * slow(p)
+			p := c.place[ti]
+			taskSec := t.ComputeSec * s.slowdown(p)
 			var inbound float64
 			for _, pi := range t.Parents() {
-				if place[pi].Server != p.Server {
+				if c.place[pi].Server != p.Server {
 					vol := j.CommVolWW
 					if t.IsPS {
 						vol = j.CommVolPS
@@ -318,7 +438,7 @@ func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
 				}
 			}
 			if inbound > 0 {
-				taskSec += inbound / effBW(p.Server)
+				taskSec += inbound / s.effBW(p.Server)
 				crossMB += inbound
 			}
 			if taskSec > stageSec {
@@ -333,13 +453,13 @@ func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
 	// hence fixed per-step overhead: 2(n−1) for a ring versus 4(√n−1)
 	// for a 2D torus (rows then columns) — the torus advantage Mikami et
 	// al. exploit (§3.2).
-	if j.Comm == job.AllReduce && len(servers) > 1 {
+	if j.Comm == job.AllReduce && len(c.touched) > 1 {
 		const stepOverheadSec = 0.005
-		n := float64(len(servers))
+		n := float64(len(c.touched))
 		vol := 2 * j.CommVolWW * (n - 1)
 		var worst float64
-		for sv := range servers {
-			if bw := effBW(sv); worst == 0 || bw < worst {
+		for _, se := range c.touched {
+			if bw := s.effBW(se.server); worst == 0 || bw < worst {
 				worst = bw
 			}
 		}
@@ -350,34 +470,92 @@ func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
 		sec += vol/n/worst + steps*stepOverheadSec
 		crossMB += vol
 	}
-	return sec, crossMB
+	c.iterSec, c.crossMB = sec, crossMB
+	c.valid = true
+	return true
+}
+
+// slowdown is the overload inflation factor for a placed task: the worst
+// of the server's GPU/CPU/memory utilisation and its device's
+// utilisation, floored at 1. It computes utilisation from raw
+// used/capacity instead of the server's memoised accessor so concurrent
+// workers never write shared state.
+func (s *Simulator) slowdown(p *cluster.Placement) float64 {
+	srv := s.cl.Server(p.Server)
+	u := srv.Used().Div(srv.Capacity())
+	f := 1.0
+	if u[cluster.ResGPU] > f {
+		f = u[cluster.ResGPU]
+	}
+	if u[cluster.ResCPU] > f {
+		f = u[cluster.ResCPU]
+	}
+	if u[cluster.ResMemory] > f {
+		f = u[cluster.ResMemory]
+	}
+	if du := srv.Devices()[p.Device].Utilization(); du > f {
+		f = du
+	}
+	return f
+}
+
+// effBW is the effective per-flow bandwidth into a server: the configured
+// flow rate divided by the server's bandwidth oversubscription.
+func (s *Simulator) effBW(server int) float64 {
+	srv := s.cl.Server(server)
+	u := srv.Used().Div(srv.Capacity())[cluster.ResBandwidth]
+	return s.cfg.FlowMBps / math.Max(1, u)
 }
 
 // advance moves training forward by dt seconds.
+//
+// It runs in two phases. The preparation phase computes each active job's
+// iteration cost against the cluster state frozen at tick start; jobs are
+// independent there, so it fans out over the worker pool. The merge phase
+// walks jobs in order and applies everything with cross-job effects:
+// counters, deadline snapshots and job finishes. A finish frees the job's
+// resources mid-merge — exactly as the historical serial loop did — which
+// bumps the touched servers' epochs, so any later job whose cost that
+// changes fails its freshness check and is recomputed serially at its
+// merge position. Results are therefore bit-identical to the fully serial
+// execution for every worker count.
 func (s *Simulator) advance(dt float64) {
-	stillActive := make([]*job.Job, 0, len(s.active))
-	for _, j := range s.active {
+	n := len(s.active)
+	if cap(s.adv) < n {
+		s.adv = make([]advState, n)
+	}
+	s.adv = s.adv[:n]
+	if s.workers > 1 && n >= minParallelAdvance {
+		s.prepareParallel()
+	} else {
+		for i := range s.active {
+			s.prepare(i)
+		}
+	}
+
+	still := s.activeScratch[:0]
+	for i, j := range s.active {
 		if j.Done() {
 			continue
 		}
-		fully := true
-		for _, t := range j.Tasks {
-			if s.cl.Lookup(t.ID.Ref()) == nil {
-				fully = false
-				break
-			}
-		}
-		if !fully {
+		if !s.adv[i].fully {
 			j.WaitingTime += dt
 			s.snapDeadline(j, dt, 0)
-			stillActive = append(stillActive, j)
+			still = append(still, j)
 			continue
 		}
 		if j.State == job.Pending {
 			j.State = job.Running
 			j.EverPlaced = true
 		}
-		iterSec, crossMB := s.iterationCost(j)
+		c := &s.cache[j.SimIndex]
+		if !(c.valid && s.cacheFresh(c)) {
+			// A job finishing earlier in this merge freed resources on a
+			// server this job touches; observe the post-finish state just
+			// like the serial loop would.
+			s.computeIterCost(j, c)
+		}
+		iterSec, crossMB := c.iterSec, c.crossMB
 		if f := s.stragglerFactor(j); f > 1 {
 			iterSec *= f
 		}
@@ -403,9 +581,65 @@ func (s *Simulator) advance(dt float64) {
 			s.finishJob(j, finishAt, job.Finished)
 			continue
 		}
-		stillActive = append(stillActive, j)
+		still = append(still, j)
 	}
-	s.active = stillActive
+	s.activeScratch = s.active[:0]
+	s.active = still
+}
+
+// prepare computes the phase-one state for active job i: whether it is
+// fully placed and, if so, its iteration cost (via the cache).
+func (s *Simulator) prepare(i int) {
+	j := s.active[i]
+	c := &s.cache[j.SimIndex]
+	if c.valid && s.cacheFresh(c) {
+		s.adv[i].fully = true
+		return
+	}
+	s.adv[i].fully = s.computeIterCost(j, c)
+}
+
+// ensurePool lazily spawns the advance workers. Workers park on the kick
+// channel between ticks and pull job indices off a shared atomic cursor,
+// so a tick's fan-out allocates nothing.
+func (s *Simulator) ensurePool() {
+	if s.pool != nil {
+		return
+	}
+	p := &advancePool{kick: make(chan struct{}, s.workers), n: s.workers}
+	s.pool = p
+	for w := 0; w < p.n; w++ {
+		go func() {
+			for range p.kick {
+				for {
+					i := int(p.next.Add(1)) - 1
+					if i >= len(s.active) {
+						break
+					}
+					s.prepare(i)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+func (s *Simulator) prepareParallel() {
+	s.ensurePool()
+	s.pool.next.Store(0)
+	s.pool.wg.Add(s.pool.n)
+	for i := 0; i < s.pool.n; i++ {
+		s.pool.kick <- struct{}{}
+	}
+	s.pool.wg.Wait()
+}
+
+// closePool releases the advance workers (idempotent).
+func (s *Simulator) closePool() {
+	if s.pool != nil {
+		close(s.pool.kick)
+		s.pool = nil
+	}
 }
 
 // stragglerFactor returns this tick's straggler slowdown for job j.
@@ -459,7 +693,7 @@ func (s *Simulator) observe(j *job.Job, oldProgress float64) {
 // this tick. delta is the progress made during the tick, used to
 // interpolate the iteration count at the deadline instant.
 func (s *Simulator) snapDeadline(j *job.Job, dt, delta float64) {
-	if s.deadlineSnapped[j.ID] || j.Deadline > s.now+dt {
+	if s.deadlineSnapped[j.SimIndex] || j.Deadline > s.now+dt {
 		return
 	}
 	frac := 0.0
@@ -472,7 +706,7 @@ func (s *Simulator) snapDeadline(j *job.Job, dt, delta float64) {
 		iters = j.MaxIterations
 	}
 	j.AccuracyAtDeadline = j.Curve.Accuracy(iters)
-	s.deadlineSnapped[j.ID] = true
+	s.deadlineSnapped[j.SimIndex] = true
 }
 
 // finishJob finalises a job: frees resources, stamps outcome fields.
@@ -484,11 +718,11 @@ func (s *Simulator) finishJob(j *job.Job, at float64, state job.State) {
 	j.State = state
 	j.FinishTime = at
 	s.recentCompleted = append(s.recentCompleted, j)
-	if !s.deadlineSnapped[j.ID] {
+	if !s.deadlineSnapped[j.SimIndex] {
 		// Finished before the deadline: accuracy by deadline is the final
 		// accuracy (training stops at completion).
 		j.AccuracyAtDeadline = j.Accuracy()
-		s.deadlineSnapped[j.ID] = true
+		s.deadlineSnapped[j.SimIndex] = true
 	}
 }
 

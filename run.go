@@ -63,6 +63,11 @@ type Options struct {
 	StragglerProb       float64
 	StragglerSlow       float64
 	ReplicateStragglers bool
+
+	// AdvanceWorkers is the number of goroutines the simulator uses to
+	// compute per-job iteration costs within a tick (0 = GOMAXPROCS,
+	// 1 = fully serial). Results are bit-identical for every setting.
+	AdvanceWorkers int
 }
 
 func (o Options) clusterConfig() cluster.Config {
@@ -174,6 +179,7 @@ func Run(opts Options) (*Result, error) {
 		StragglerProb:       opts.StragglerProb,
 		StragglerSlow:       opts.StragglerSlow,
 		ReplicateStragglers: opts.ReplicateStragglers,
+		AdvanceWorkers:      opts.AdvanceWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package mlfs
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // SweepPoint is one parameter setting and its outcome.
 type SweepPoint struct {
@@ -15,6 +19,11 @@ type SweepPoint struct {
 //
 // Supported parameters: "alpha", "gamma", "gamma_d", "gamma_r", "gamma_w",
 // "ps", "hr", "hs".
+//
+// Sweep points are independent simulations over a shared workload, so
+// they execute in parallel across CPUs (mirroring Compare); each run is
+// internally deterministic and results come back in value order, so the
+// output is reproducible regardless of parallelism.
 func Sweep(param string, values []float64, base Options) ([]SweepPoint, error) {
 	if base.Jobs <= 0 && base.Trace == nil {
 		return nil, fmt.Errorf("mlfs: sweep needs a workload")
@@ -25,8 +34,14 @@ func Sweep(param string, values []float64, base Options) ([]SweepPoint, error) {
 	if base.Scheduler == "" {
 		base.Scheduler = "mlf-h"
 	}
-	var out []SweepPoint
-	for _, v := range values {
+	type cell struct {
+		res *Result
+		err error
+	}
+	cells := make([]cell, len(values))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, v := range values {
 		opts := base
 		opts.Sched = nil
 		switch param {
@@ -49,11 +64,25 @@ func Sweep(param string, values []float64, base Options) ([]SweepPoint, error) {
 		default:
 			return nil, fmt.Errorf("mlfs: unknown sweep parameter %q", param)
 		}
-		res, err := Run(opts)
-		if err != nil {
-			return nil, fmt.Errorf("mlfs: sweep %s=%v: %w", param, v, err)
+		wg.Add(1)
+		go func(i int, v float64, opts Options) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := Run(opts)
+			if err != nil {
+				err = fmt.Errorf("mlfs: sweep %s=%v: %w", param, v, err)
+			}
+			cells[i] = cell{res, err}
+		}(i, v, opts)
+	}
+	wg.Wait()
+	out := make([]SweepPoint, 0, len(values))
+	for i, v := range values {
+		if cells[i].err != nil {
+			return nil, cells[i].err
 		}
-		out = append(out, SweepPoint{Value: v, Result: res})
+		out = append(out, SweepPoint{Value: v, Result: cells[i].res})
 	}
 	return out, nil
 }
