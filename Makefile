@@ -1,11 +1,14 @@
 # Developer entry points. `make ci` is the gate every change must pass:
-# vet, the full test suite, and the test suite again under the race
-# detector (the simulator fans per-tick work out over a goroutine pool, so
-# races are a first-class failure mode here).
+# vet, the invariant linters, the full test suite, and the test suite
+# again under the race detector (the simulator fans per-tick work out
+# over a goroutine pool, so races are a first-class failure mode here).
+# `make lint` runs cmd/mlfs-lint, the in-repo analyzer suite that
+# mechanically enforces the determinism and epoch-cache invariants of
+# DESIGN.md §8 (add `-json` by hand for machine-readable output).
 
 GO ?= go
 
-.PHONY: all build test vet race ci bench simbench
+.PHONY: all build test vet lint race ci bench simbench
 
 all: build
 
@@ -18,10 +21,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/mlfs-lint ./internal/... ./cmd/...
+
 race:
 	$(GO) test -race ./...
 
-ci: vet test race
+ci: vet lint test race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble), with allocation counts.

@@ -1,0 +1,115 @@
+// Command mlfs-lint runs the repository's invariant analyzers (DESIGN.md
+// §8) over the given package patterns and exits non-zero on findings.
+//
+// Usage:
+//
+//	mlfs-lint [-json] [-checks mapiter,noclock,...] [patterns...]
+//
+// Patterns follow the go tool ("./internal/...", "./cmd/mlfs-sim");
+// without arguments it covers ./internal/... and ./cmd/..., the surface
+// `make lint` and CI gate on. With -json it emits a machine-readable
+// report on stdout for external CI:
+//
+//	{"module":"mlfs","findings":[{"check":"noclock","file":"internal/sim/sim.go",
+//	 "line":340,"column":11,"message":"..."}],"suppressed":2}
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mlfs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlfs-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mlfs-lint [-json] [-checks names] [patterns...]\n\nchecks:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.AnalyzersByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var findings []lint.Diagnostic
+	suppressed := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		f, s := lint.RunPackage(pkg, analyzers)
+		findings = append(findings, f...)
+		suppressed += len(s)
+	}
+
+	if *jsonOut {
+		report := struct {
+			Module     string            `json:"module"`
+			Findings   []lint.Diagnostic `json:"findings"`
+			Suppressed int               `json:"suppressed"`
+		}{Module: loader.ModulePath, Findings: findings, Suppressed: suppressed}
+		if report.Findings == nil {
+			report.Findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "mlfs-lint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

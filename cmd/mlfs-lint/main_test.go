@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The fixture path is relative to this package directory; go test runs
+// with the package dir as the working directory, and FindModuleRoot
+// climbs from "." so the loader still resolves the module.
+const dirtyFixture = "../../internal/lint/testdata/floatcmp"
+
+func TestRunCleanRepo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"../../internal/...", "../../cmd/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run must print nothing, got %q", stdout.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dirtyFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floatcmp") {
+		t.Errorf("findings output missing check name:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing summary line: %q", stderr.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", dirtyFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var report struct {
+		Module   string `json:"module"`
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if report.Module != "mlfs" {
+		t.Errorf("module = %q, want mlfs", report.Module)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("expected findings from the dirty fixture")
+	}
+	for _, f := range report.Findings {
+		if f.Check != "floatcmp" || f.Line == 0 || f.File == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	if report.Suppressed == 0 {
+		t.Error("fixture has an //mlfs:allow site; suppressed must be > 0")
+	}
+}
+
+func TestRunJSONCleanEmitsEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-checks", "noclock", dirtyFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, want 0 (noclock has nothing to say about the floatcmp fixture)\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"findings": []`) {
+		t.Errorf("clean JSON must contain an empty findings array, not null:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadCheckName(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Errorf("stderr should name the unknown check: %q", stderr.String())
+	}
+}

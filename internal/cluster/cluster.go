@@ -20,11 +20,15 @@ type Placement struct {
 
 // Device is a single GPU (or CPU slot when simulating CPU clusters; the
 // paper uses GPUs as the example, §3.1).
+// Device load state is epoch-guarded: Server.epoch must advance with
+// every change, so writes are confined to the designated cluster
+// mutators (Place/Remove/UpdateDemand) — enforced by mlfs-lint's
+// epochguard analyzer via the //mlfs:guarded markers.
 type Device struct {
 	id       int
 	capacity float64
-	load     float64
-	tasks    map[TaskRef]float64 // task -> gpu share
+	load     float64             //mlfs:guarded
+	tasks    map[TaskRef]float64 //mlfs:guarded task -> gpu share
 }
 
 // ID returns the device index within its server.
@@ -61,9 +65,9 @@ func (d *Device) Tasks() []TaskRef {
 type Server struct {
 	id       int
 	capacity Vec
-	used     Vec
+	used     Vec //mlfs:guarded
 	devices  []*Device
-	tasks    map[TaskRef]*Placement
+	tasks    map[TaskRef]*Placement //mlfs:guarded
 
 	// epoch counts load changes on this server (placements, removals,
 	// demand updates). It lets callers cache anything derived from the
@@ -125,7 +129,7 @@ func (s *Server) OverloadDegree() float64 {
 // a server is overloaded if u_m > h_r"; a server with at least one
 // overloaded resource is overloaded).
 func (s *Server) Overloaded(hr float64) bool {
-	if s.ovlEp == s.epoch && s.ovlHR == hr {
+	if s.ovlEp == s.epoch && s.ovlHR == hr { //mlfs:allow floatcmp exact cache-key match: hr is a run constant, equality means the memo was computed for this threshold
 		return s.ovlAt
 	}
 	s.ovlAt = s.overloaded(hr)
@@ -196,7 +200,7 @@ func (s *Server) LeastLoadedDevice() *Device {
 // Cluster is the full machine set plus the placement index.
 type Cluster struct {
 	servers    []*Server
-	placements map[TaskRef]*Placement
+	placements map[TaskRef]*Placement //mlfs:guarded
 
 	// epoch counts every load change anywhere in the cluster; see
 	// Server.Epoch. odegAt/odegEp memoise the cluster overload degree,

@@ -382,6 +382,7 @@ func (m *MLFH) SelectMigrationTask(ctx *sched.Context, prios *Priorities, si int
 			gap := comms[t.ID] / maxComm
 			d = math.Sqrt(d*d + gap*gap)
 		}
+		//mlfs:allow floatcmp deliberate exact tie on the RIAL distance: equal bits fall through to the task-id tie-break for determinism
 		if d < bestDist || (d == bestDist && (best == nil || t.ID < best.ID)) {
 			best, bestDist = t, d
 		}

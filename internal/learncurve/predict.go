@@ -94,10 +94,10 @@ func (p *Predictor) Fit() (amax, rate, confidence float64, ok bool) {
 	if rec <= 0 || rec > 1 {
 		rec = 0.97
 	}
-	if p.fitN == n && p.fitRec == rec {
+	if p.fitN == n && p.fitRec == rec { //mlfs:allow floatcmp exact cache-key match: rec is a configured constant, equality means the memoised fit is for this recency
 		return p.fitAmax, p.fitRate, p.fitConf, p.fitOK
 	}
-	if len(p.pows) > 0 && p.fitRec != rec {
+	if len(p.pows) > 0 && p.fitRec != rec { //mlfs:allow floatcmp exact cache-key mismatch invalidates the power table; any bit change must rebuild it
 		p.pows = p.pows[:0] // Recency changed: the cached powers are stale
 	}
 	for k := len(p.pows); k < n; k++ {

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatCmpAnalyzer flags == and != between floating-point operands.
+// After rounding, two mathematically equal float expressions routinely
+// compare unequal, so exact equality silently encodes "these two
+// computation paths produce identical bits" — an assumption that breaks
+// under any reordering. Two deliberate idioms are exempt:
+//
+//   - comparison against a compile-time constant (sentinel checks like
+//     x == 0), which is exact by construction, and
+//   - the tie-break idiom `if a != b { return a < b }` used throughout
+//     the schedulers' sort comparators, where exact inequality is the
+//     point: equal bits must fall through to the deterministic id
+//     tie-break.
+//
+// Anything else must either be rewritten (epsilon comparison, integer
+// comparison) or justified with //mlfs:allow floatcmp. Test files are
+// never loaded, so the check applies to production code only.
+var floatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "== / != on floating-point operands outside test files (constant sentinels and sort tie-breaks exempt)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		skip := tieBreakConds(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) || skip[bin] {
+				return true
+			}
+			if !isFloat(info.TypeOf(bin.X)) && !isFloat(info.TypeOf(bin.Y)) {
+				return true
+			}
+			// Exact comparison against a compile-time constant is
+			// well-defined (x == 0 sentinels and friends).
+			if isConstExpr(info, bin.X) || isConstExpr(info, bin.Y) {
+				return true
+			}
+			p.Reportf(bin.Pos(), "%s on float operands %s and %s: exact float equality is rounding-fragile; compare with a tolerance, restructure, or suppress if the exact match is deliberate", bin.Op, types.ExprString(bin.X), types.ExprString(bin.Y))
+			return true
+		})
+	}
+}
+
+func isConstExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// tieBreakConds collects the conditions of the comparator tie-break
+// idiom: an if whose condition is a strict (in)equality of two
+// expressions and whose body is exactly one return of an ordered
+// comparison over the same two expressions.
+func tieBreakConds(f *ast.File) map[*ast.BinaryExpr]bool {
+	skip := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.NEQ && cond.Op != token.EQL) {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cmp.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		cx, cy := types.ExprString(cond.X), types.ExprString(cond.Y)
+		rx, ry := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+		if (cx == rx && cy == ry) || (cx == ry && cy == rx) {
+			skip[cond] = true
+		}
+		return true
+	})
+	return skip
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at source. File is relative to
+// the module root so output is stable across machines and consumable by
+// external CI (the JSON shape of cmd/mlfs-lint is exactly this struct).
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Check, d.Message)
+}
+
+func (d Diagnostic) less(o Diagnostic) bool {
+	if d.File != o.File {
+		return d.File < o.File
+	}
+	if d.Line != o.Line {
+		return d.Line < o.Line
+	}
+	if d.Column != o.Column {
+		return d.Column < o.Column
+	}
+	return d.Check < o.Check
+}
+
+// Analyzer is one invariant check. Run inspects the package behind pass
+// and reports findings through it; suppression and ordering are handled
+// by the framework.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line description shown by mlfs-lint's usage text.
+	Doc string
+	// DeterministicOnly restricts the analyzer to packages marked
+	// deterministic (registry or //mlfs:deterministic directive).
+	DeterministicOnly bool
+	Run               func(*Pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{mapIterAnalyzer, noClockAnalyzer, epochGuardAnalyzer, floatCmpAnalyzer, sharedCaptureAnalyzer}
+}
+
+// AnalyzersByName resolves a comma-separated subset of analyzer names
+// ("" selects all).
+func AnalyzersByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass is one (analyzer, package) run handed to Analyzer.Run.
+type Pass struct {
+	Pkg   *Package
+	check string
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Check:   p.check,
+		File:    relFile(p.Pkg.ModuleRoot, position.Filename),
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// RunPackage runs the given analyzers over one package and splits the
+// results into unsuppressed findings and directive-suppressed ones, each
+// sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if a.DeterministicOnly && !pkg.Deterministic {
+			continue
+		}
+		a.Run(&Pass{Pkg: pkg, check: a.Name, out: &all})
+	}
+	allow := allowDirectives(pkg)
+	for _, d := range all {
+		if allow[suppressKey{d.File, d.Line, d.Check}] {
+			suppressed = append(suppressed, d)
+		} else {
+			findings = append(findings, d)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].less(findings[j]) })
+	sort.Slice(suppressed, func(i, j int) bool { return suppressed[i].less(suppressed[j]) })
+	return findings, suppressed
+}
+
+type suppressKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowDirectives collects every //mlfs:allow directive of the package.
+// A directive suppresses matching findings on its own line (trailing
+// form) and on the line directly below it (standalone form above the
+// offending statement).
+func allowDirectives(pkg *Package) map[suppressKey]bool {
+	allow := make(map[suppressKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//mlfs:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				file := relFile(pkg.ModuleRoot, pos.Filename)
+				for _, check := range strings.Split(fields[0], ",") {
+					check = strings.TrimSpace(check)
+					if check == "" {
+						continue
+					}
+					allow[suppressKey{file, pos.Line, check}] = true
+					allow[suppressKey{file, pos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// ---- shared AST/type helpers used by the analyzers ----
+
+// forEachFunc invokes fn for every function or method body in the
+// package (file order, then declaration order).
+func forEachFunc(pkg *Package, fn func(fd *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method of a call
+// expression, or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// rootIdentObj unwraps selectors, index expressions, parens and derefs
+// down to the base identifier and returns its object: the variable a
+// write to expr ultimately stores into (x, for x.f[i] = v).
+func rootIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside node's source
+// range — i.e. a write to it inside node escapes the node.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != token.NoPos &&
+		(obj.Pos() < node.Pos() || obj.Pos() >= node.End())
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapIterAnalyzer flags map iterations in deterministic packages whose
+// bodies are sensitive to iteration order: Go randomises map range
+// order, so a slice appended across iterations, a scheduling action
+// taken per key, or a float accumulated over values all change from run
+// to run — exactly the hazard that breaks bit-identical simulation
+// results and trustworthy RL policy comparison. An appended slice that
+// is provably sorted later in the same function is exempt (the
+// collect-then-sort idiom used by cluster.Server.Tasks and
+// sched.Context.Waiting).
+var mapIterAnalyzer = &Analyzer{
+	Name:              "mapiter",
+	Doc:               "map iteration feeding order-sensitive state (appends, scheduling calls, float accumulation) in deterministic packages",
+	DeterministicOnly: true,
+	Run:               runMapIter,
+}
+
+// schedulingCalls are the Context/Cluster mutators whose invocation
+// order is observable in simulation results.
+var schedulingCalls = map[string]bool{
+	"Place":     true,
+	"PlaceGang": true,
+	"Migrate":   true,
+	"Evict":     true,
+	"EvictJob":  true,
+	"Preempt":   true,
+	"StopJob":   true,
+}
+
+// sortCalls are the sort.*/slices.*/heap.Init entry points accepted as
+// proof that a collected slice is ordered before use.
+var sortCalls = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true, "Init": true,
+}
+
+func runMapIter(p *Pass) {
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(p, fd, rs)
+			return true
+		})
+	})
+}
+
+func checkMapRangeBody(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(stmt.Fun).(*ast.SelectorExpr); ok && schedulingCalls[sel.Sel.Name] {
+				// Only method/field calls: a package-qualified function
+				// of the same name is not a Context/Cluster mutator.
+				if _, isPkg := info.ObjectOf(baseIdent(sel.X)).(*types.PkgName); !isPkg {
+					p.Reportf(stmt.Pos(), "scheduling call %s inside map iteration: action order follows randomized map order; iterate a sorted slice instead", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, fd, rs, stmt)
+		case *ast.IncDecStmt:
+			// ++/-- is integral; iteration-order independent.
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := p.Pkg.Info
+
+	// Compound float accumulation: x op= y with float x declared outside
+	// the loop. Addition and multiplication are not associative in
+	// floating point, so the result depends on visit order.
+	switch as.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		lhs := as.Lhs[0]
+		if isFloat(info.TypeOf(lhs)) {
+			if obj := rootIdentObj(info, lhs); declaredOutside(obj, rs) {
+				p.Reportf(as.Pos(), "float accumulation into %s across map iteration: result bits depend on randomized map order; accumulate over a sorted key slice", types.ExprString(lhs))
+			}
+		}
+		return
+	}
+	if as.Tok.String() != "=" && as.Tok.String() != ":=" {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		lhs := as.Lhs[i]
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if ok && isBuiltin(info, call, "append") {
+			obj := rootIdentObj(info, lhs)
+			if declaredOutside(obj, rs) && !sortedAfter(p, fd, rs, obj) {
+				p.Reportf(as.Pos(), "append to %s inside map iteration without a later sort in %s: element order follows randomized map order", types.ExprString(lhs), fd.Name.Name)
+			}
+			continue
+		}
+		// Spelled-out accumulation: x = x + y (or x * y) on floats.
+		if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isFloat(info.TypeOf(lhs)) {
+			op := bin.Op.String()
+			if op == "+" || op == "-" || op == "*" || op == "/" {
+				lhsStr := types.ExprString(lhs)
+				if types.ExprString(bin.X) == lhsStr || types.ExprString(bin.Y) == lhsStr {
+					if obj := rootIdentObj(info, lhs); declaredOutside(obj, rs) {
+						p.Reportf(as.Pos(), "float accumulation into %s across map iteration: result bits depend on randomized map order; accumulate over a sorted key slice", lhsStr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sortedAfter reports whether, after the range statement, the same
+// function sorts the slice held by obj (sort.*, slices.Sort*, or
+// heap.Init) — the proof that collected elements are ordered before use.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	info := p.Pkg.Info
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sortCalls[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if _, isPkg := info.ObjectOf(baseIdent(sel.X)).(*types.PkgName); !isPkg {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			arg = u.X
+		}
+		if rootIdentObj(info, arg) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// baseIdent returns the leftmost identifier of an expression, or nil.
+func baseIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

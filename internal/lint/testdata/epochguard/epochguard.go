@@ -1,0 +1,52 @@
+// Package epochguard exercises the epochguard analyzer: a struct with
+// an epoch counter and //mlfs:guarded load fields whose writes must stay
+// inside the designated mutators Place/Remove/UpdateDemand (and bump for
+// the epoch itself).
+package epochguard
+
+type server struct {
+	epoch    uint64
+	capacity float64
+	used     float64         //mlfs:guarded
+	tasks    map[int]float64 //mlfs:guarded
+}
+
+func (s *server) bump() { s.epoch++ }
+
+func (s *server) Place(id int, demand float64) {
+	s.used += demand
+	s.tasks[id] = demand
+	s.bump()
+}
+
+func (s *server) Remove(id int) {
+	s.used -= s.tasks[id]
+	delete(s.tasks, id)
+	s.bump()
+}
+
+func (s *server) UpdateDemand(id int, demand float64) {
+	s.used += demand - s.tasks[id]
+	s.tasks[id] = demand
+	s.bump()
+}
+
+// drain mutates load state without going through a designated mutator:
+// every write below must be flagged.
+func (s *server) drain(id int) {
+	s.used = 0          // want "write to epoch-guarded field server.used in drain"
+	delete(s.tasks, id) // want "write to epoch-guarded field server.tasks in drain"
+	s.epoch++           // want "write to epoch field server.epoch in drain"
+}
+
+func (s *server) reset() {
+	s.tasks[0] = 0 // want "write to epoch-guarded field server.tasks in reset"
+	s.capacity = 1 // unguarded field: no finding
+}
+
+func (s *server) suppressedRepair(id int) {
+	s.used = 0 //mlfs:allow epochguard one-off repair path justified for the fixture
+	s.bump()
+}
+
+func (s *server) read() float64 { return s.used } // reads are free

@@ -1,0 +1,53 @@
+// Package floatcmp exercises the floatcmp analyzer: exact float
+// equality outside the constant-sentinel and comparator-tie-break
+// exemptions.
+package floatcmp
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "== on float operands a and b"
+}
+
+func exactNotEqual(a, b float32) bool {
+	return a != b // want "!= on float operands a and b"
+}
+
+type vec struct{ x, y float64 }
+
+func fieldCompare(u, v vec) bool {
+	return u.x == v.x // want "== on float operands u.x and v.x"
+}
+
+func constSentinel(a float64) bool {
+	return a == 0 // constant comparison is exact by construction: no finding
+}
+
+func constThreshold(a float64) bool {
+	return a != 1.5 // still a compile-time constant: no finding
+}
+
+func tieBreakLess(a, b float64) bool {
+	if a != b { // comparator tie-break idiom: no finding
+		return a < b
+	}
+	return false
+}
+
+func tieBreakGreater(u, v vec) bool {
+	if u.y != v.y { // works on selector operands too: no finding
+		return u.y > v.y
+	}
+	return u.x < v.x
+}
+
+func notATieBreak(a, b float64) bool {
+	if a != b { // want "!= on float operands a and b"
+		return a*2 > b // body compares different expressions: flagged
+	}
+	return false
+}
+
+func suppressedCacheKey(key, cached float64) bool {
+	return key == cached //mlfs:allow floatcmp exact cache-key match is the point
+}
+
+func intCompare(a, b int) bool { return a == b } // integers: no finding

@@ -1,0 +1,108 @@
+// Package mapiter exercises the mapiter analyzer: order-sensitive state
+// built inside map iteration in a deterministic package, plus the
+// sorted-before-use and suppression exemptions.
+//
+//mlfs:deterministic
+package mapiter
+
+import "sort"
+
+type ctx struct{}
+
+func (ctx) Place(id int)   {}
+func (ctx) EvictJob(id int) {}
+
+// Place here is a package function, not a scheduling method; calling it
+// through the package selector must not trip the analyzer (checked via
+// the sorted import below using sort.Ints, and via helpers.Place-style
+// calls being method-only).
+
+func appendUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration without a later sort"
+	}
+	return out
+}
+
+func appendSorted(m map[int]string) []int {
+	// False-positive guard: collect-then-sort is the sanctioned idiom
+	// (cluster.Server.Tasks, sched.Context.Waiting) and must stay clean.
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func appendSortedSlice(m map[int]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func schedulesInMapOrder(c ctx, m map[int]bool) {
+	for id := range m {
+		c.Place(id) // want "scheduling call Place inside map iteration"
+	}
+}
+
+func evictsInMapOrder(c ctx, m map[int]bool) {
+	for id := range m {
+		if m[id] {
+			c.EvictJob(id) // want "scheduling call EvictJob inside map iteration"
+		}
+	}
+}
+
+func accumulatesFloats(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum across map iteration"
+	}
+	return sum
+}
+
+func accumulatesSpelledOut(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total across map iteration"
+	}
+	return total
+}
+
+func suppressedAccumulation(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //mlfs:allow mapiter order-independent enough for this telemetry aggregate
+	}
+	return sum
+}
+
+func intCountIsFine(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++ // integer accumulation is associative: no finding
+	}
+	return n
+}
+
+func localScratchIsFine(m map[int]int) {
+	for range m {
+		var tmp []int
+		tmp = append(tmp, 1) // declared inside the loop body: no finding
+		_ = tmp
+	}
+}
+
+func keyedWritesAreFine(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // keyed map write, order-independent: no finding
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package sharedcapture exercises the sharedcapture analyzer: goroutine
+// closures in a deterministic package writing state captured from the
+// enclosing function (the advance-pool hazard), with channel sends,
+// closure-local state and the suppression directive staying clean.
+//
+//mlfs:deterministic
+package sharedcapture
+
+import "sync"
+
+func racyAccumulate(items []float64) float64 {
+	var wg sync.WaitGroup
+	var total float64
+	count := 0
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += items[i] // want "goroutine closure writes total captured from the enclosing function"
+			count++           // want "goroutine closure writes count captured from the enclosing function"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+type sim struct{ now float64 }
+
+func (s *sim) racyFieldWrite(done chan struct{}) {
+	go func() {
+		s.now = 1 // want "goroutine closure writes s.now captured from the enclosing function"
+		close(done)
+	}()
+}
+
+func channelResults(items []float64) float64 {
+	// The sanctioned shapes: closure-local state, parameters, channel
+	// sends. None of these write captured variables.
+	ch := make(chan float64, len(items))
+	for i := range items {
+		go func(i int) {
+			sum := 0.0
+			sum += items[i]
+			ch <- sum
+		}(i)
+	}
+	var total float64
+	for range items {
+		total += <-ch
+	}
+	return total
+}
+
+func suppressedDisjointWrites(items []float64) []float64 {
+	out := make([]float64, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2 //mlfs:allow sharedcapture disjoint per-index writes into a preallocated slice
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -169,6 +169,12 @@ type Simulator struct {
 	waiting map[job.TaskID]*job.Task
 	now     float64
 
+	// admitOrder, when set, permutes a job's tasks before they are
+	// inserted into the waiting map. Test seam only: the determinism
+	// tests use it to prove results are independent of map insertion
+	// order (schedulers must sort before acting, never rely on range).
+	admitOrder func([]*job.Task) []*job.Task
+
 	counters metrics.Counters
 	// deadlineSnapped marks jobs whose accuracy-at-deadline is recorded,
 	// indexed by job.SimIndex.
@@ -285,7 +291,11 @@ func (s *Simulator) admitArrivals() {
 			continue
 		}
 		j.State = job.Pending
-		for _, t := range j.Tasks {
+		ts := j.Tasks
+		if s.admitOrder != nil {
+			ts = s.admitOrder(ts)
+		}
+		for _, t := range ts {
 			t.QueuedAt = s.now
 			s.waiting[t.ID] = t
 		}
@@ -337,9 +347,9 @@ func (s *Simulator) runScheduler() {
 	// it as the accumulator for the finishes of this tick.
 	s.recentCompleted, s.recentSpare = s.recentSpare[:0], s.recentCompleted
 	s.lastBWMark = s.counters.BandwidthMB
-	start := time.Now()
+	start := time.Now() //mlfs:allow noclock telemetry: SchedSeconds measures real scheduler overhead (Fig 4g) and never feeds simulation state
 	s.sched.Schedule(s.ctx)
-	s.counters.SchedSeconds += time.Since(start).Seconds()
+	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock telemetry: wall-time counter only; zeroed by the determinism tests
 	s.counters.SchedRounds++
 
 	s.counters.Migrations += s.ctx.Migrations

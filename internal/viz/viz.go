@@ -54,10 +54,10 @@ func Render(series []Series, opts Options) string {
 	if math.IsInf(minX, 1) {
 		return "(no data)\n"
 	}
-	if maxX == minX {
+	if maxX == minX { //mlfs:allow floatcmp degenerate-range guard: only an exactly collapsed axis needs widening before the divide
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //mlfs:allow floatcmp degenerate-range guard: only an exactly collapsed axis needs widening before the divide
 		maxY = minY + 1
 	}
 
