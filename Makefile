@@ -1,14 +1,16 @@
 # Developer entry points. `make ci` is the gate every change must pass:
-# vet, the invariant linters, the full test suite, and the test suite
-# again under the race detector (the simulator fans per-tick work out
-# over a goroutine pool, so races are a first-class failure mode here).
-# `make lint` runs cmd/mlfs-lint, the in-repo analyzer suite that
-# mechanically enforces the determinism and epoch-cache invariants of
-# DESIGN.md §8 (add `-json` by hand for machine-readable output).
+# vet, the invariant linters, the full test suite, a focused race pass
+# over the NN engine + MLF-RL (the packages that own worker pools), and
+# the test suite again under the race detector (the simulator fans
+# per-tick work out over a goroutine pool, so races are a first-class
+# failure mode here). `make lint` runs cmd/mlfs-lint, the in-repo
+# analyzer suite that mechanically enforces the determinism and
+# epoch-cache invariants of DESIGN.md §8 (add `-json` by hand for
+# machine-readable output).
 
 GO ?= go
 
-.PHONY: all build test vet lint race ci bench simbench
+.PHONY: all build test vet lint race race-nn ci bench nnbench simbench
 
 all: build
 
@@ -27,12 +29,24 @@ lint:
 race:
 	$(GO) test -race ./...
 
-ci: vet lint test race
+# Focused race pass over the batched NN engine and MLF-RL, including the
+# worker-invariance and sim bit-identity tests that exercise the pool.
+race-nn:
+	$(GO) test -race ./internal/nn/ ./internal/core/mlfrl/
+
+ci: vet lint test race-nn race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
-# cache, demand wobble), with allocation counts.
+# cache, demand wobble) and the NN engine (batched scoring, imitation
+# updates, the in-situ MLF-RL scheduling round), with allocation counts.
 bench:
 	$(GO) test ./internal/sim/ -run xxx -bench 'BenchmarkTick|BenchmarkIterationTime|BenchmarkWobbleDemands' -benchmem
+	$(GO) test ./internal/nn/ -run xxx -bench 'BenchmarkForwardBatch|BenchmarkImitationBatch' -benchmem
+	$(GO) test ./internal/core/mlfrl/ -run xxx -bench BenchmarkMLFRLTick -benchtime 3x -benchmem
+
+# Policy-engine numbers (scoring/update speedups) -> results/BENCH_nn.json.
+nnbench:
+	$(GO) run ./cmd/mlfs-bench -out results -nnbench
 
 # End-to-end hot-path numbers -> results/BENCH_sim.json.
 simbench:

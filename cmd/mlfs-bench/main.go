@@ -8,6 +8,11 @@
 // advancement) and writes the machine-readable BENCH_sim.json used to
 // track scheduler-loop performance across revisions.
 //
+// With -nnbench it profiles the MLF-RL policy engine: the end-to-end
+// mlf-rl Figure-4 sweep plus per-decision scoring and imitation-update
+// micro paths, batched engine vs the historical per-candidate
+// reference, written to BENCH_nn.json.
+//
 // Examples:
 //
 //	mlfs-bench -out results/                   # everything, Figure-4 scale
@@ -47,6 +52,9 @@ func main() {
 		benchRep = flag.Int("simbench-reps", 3, "repetitions per -simbench configuration")
 		baseWall = flag.Float64("simbench-baseline", 60.27,
 			"recorded wall-seconds of the headline large-scale sweep before the hot-path optimisation (0 to omit the comparison)")
+		nnbench = flag.Bool("nnbench", false, "profile the MLF-RL policy engine and write BENCH_nn.json")
+		nnBase  = flag.Float64("nnbench-baseline", 9.2,
+			"recorded wall-seconds of the mlf-rl Figure-4 sweep before NN batching (0 to omit the comparison)")
 	)
 	flag.Parse()
 
@@ -55,6 +63,12 @@ func main() {
 	}
 	if *simbench {
 		if err := runSimBench(filepath.Join(*out, "BENCH_sim.json"), *seed, *benchJob, *benchRep, *baseWall); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *nnbench {
+		if err := runNNBench(filepath.Join(*out, "BENCH_nn.json"), *nnBase); err != nil {
 			fatal(err)
 		}
 		return

@@ -10,12 +10,13 @@ import (
 // must not change results. The fully serial path (1 worker) and a wide
 // pool must produce bit-identical metrics for the same seed, across the
 // MLFS scheduler and baselines with very different action mixes
-// (Tiresias never migrates; Gandiva migrates heavily).
+// (Tiresias never migrates; Gandiva migrates heavily; MLF-RL trains a
+// policy network through the batched nn engine).
 func TestAdvanceWorkersDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run determinism check")
 	}
-	for _, name := range []string{"mlfs", "tiresias", "gandiva"} {
+	for _, name := range []string{"mlfs", "mlf-rl", "tiresias", "gandiva"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

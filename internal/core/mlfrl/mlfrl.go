@@ -4,6 +4,14 @@
 // features (task ML/computation features + server utilisation), trained
 // first by imitating MLF-H decisions and then by REINFORCE on the
 // weighted multi-objective reward of Eq. 7.
+//
+// Scoring and training run on the batched nn engine: each decision's
+// candidate servers become one candidates×features matrix pushed
+// through one GEMM per layer against a reusable workspace, and the
+// scheduler's own per-decision buffers (candidate filter, feature rows,
+// migration bookkeeping) are reused across rounds, so a steady-state
+// scheduling decision allocates nothing. Results are bit-identical to
+// the per-candidate path for any engine worker count.
 package mlfrl
 
 import (
@@ -57,6 +65,20 @@ type Config struct {
 	// MaxCandidates caps the number of candidate servers scored per task
 	// (default 16) to bound per-decision cost.
 	MaxCandidates int
+	// BatchSize is how many recorded decisions accumulate into one
+	// optimizer step, for both imitation and REINFORCE (default 1: one
+	// step per decision, bit-identical to the historical training
+	// schedule). Larger batches take fewer, averaged steps — the
+	// minibatch schedule of the neural schedulers MLF-RL follows
+	// (Decima, DL2) — and let the engine run decision-spanning GEMMs.
+	// During imitation the placement follows MLF-H either way, so
+	// simulation metrics are unchanged by imitation batching; REINFORCE
+	// batching changes the (deterministic) update trajectory.
+	BatchSize int
+	// NNWorkers is the nn engine's worker-pool width (0 = GOMAXPROCS).
+	// Kernels fan out only above fixed size thresholds and results are
+	// bit-identical for every width.
+	NNWorkers int
 	// Priority carries the Eq. 2–6 parameters used for queue ordering and
 	// feature computation.
 	Priority core.PriorityParams
@@ -75,15 +97,24 @@ func DefaultConfig() Config {
 		Explore:           true,
 		Epsilon:           0.02,
 		MaxCandidates:     16,
+		BatchSize:         1,
 		Priority:          core.DefaultPriorityParams(),
 	}
 }
 
-// decision is one recorded placement awaiting its delayed reward.
+// decision is one recorded placement awaiting its delayed reward. Its
+// feature matrix comes from the scheduler's freelist and returns there
+// once the reward is applied.
 type decision struct {
-	round      int
-	candidates [][]float64
-	chosen     int
+	round  int
+	feats  *nn.Matrix
+	chosen int
+}
+
+// scoredJob pairs a job with its queue priority for the placement order.
+type scoredJob struct {
+	j *job.Job
+	p float64
 }
 
 // Scheduler is the MLF-RL policy. It satisfies sched.Scheduler.
@@ -92,11 +123,19 @@ type Scheduler struct {
 	policy *nn.Policy
 	heur   *core.MLFH // supplies migration victim selection + imitation targets
 
-	round    int
-	pending  []decision
-	rewards  []float64 // per-round reward history
-	imitated int
-	updates  int
+	round       int
+	pending     []decision
+	rewards     []float64 // per-round reward history
+	imitated    int
+	updates     int
+	imitFlushed bool // imitation leftovers stepped at the phase switch
+
+	// Per-round scratch, reused so the decision hot path makes no
+	// steady-state allocations.
+	fit      []int                // candidate servers passing the fit check
+	order    []scoredJob          // priority-ordered pending jobs
+	tried    map[job.TaskID]bool  // migration victims already attempted
+	featFree []*nn.Matrix         // freelist backing decision.feats
 }
 
 // New builds an MLF-RL scheduler.
@@ -122,6 +161,9 @@ func New(cfg Config) *Scheduler {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = 16
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 0.02
 	}
@@ -130,15 +172,26 @@ func New(cfg Config) *Scheduler {
 	}
 	h := core.NewMLFH()
 	h.Params = cfg.Priority
+	p := nn.NewPolicy(FeatureSize, cfg.Hidden, cfg.LR, cfg.Seed)
+	p.SetWorkers(cfg.NNWorkers)
 	return &Scheduler{
 		cfg:    cfg,
-		policy: nn.NewPolicy(FeatureSize, cfg.Hidden, cfg.LR, cfg.Seed),
+		policy: p,
 		heur:   h,
+		tried:  make(map[job.TaskID]bool, 16),
 	}
 }
 
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "mlf-rl" }
+
+// Close releases the policy engine's worker pool. The simulator calls
+// it at the end of a run; idempotent.
+func (s *Scheduler) Close() { s.policy.Close() }
+
+// Policy exposes the underlying nn policy (test introspection and the
+// reference-path determinism seam).
+func (s *Scheduler) Policy() *nn.Policy { return s.policy }
 
 // Trained reports whether the imitation phase is over (§3.4: MLFS
 // switches from MLF-H to MLF-RL "after the RL model is well trained").
@@ -154,6 +207,12 @@ func (s *Scheduler) Imitated() int { return s.imitated }
 // Schedule implements sched.Scheduler.
 func (s *Scheduler) Schedule(ctx *sched.Context) {
 	s.round++
+	if s.Trained() && !s.imitFlushed {
+		// Imitation leftovers below one full minibatch: apply them before
+		// the first policy-driven placement (no-op at BatchSize 1).
+		s.policy.Step()
+		s.imitFlushed = true
+	}
 	s.recordReward(ctx)
 	s.trainPending()
 
@@ -202,22 +261,32 @@ func (s *Scheduler) recordReward(ctx *sched.Context) {
 }
 
 // trainPending applies REINFORCE to decisions whose reward window has
-// closed: cumulative discounted reward Σ η^i·r_{t+i} (§3.4).
+// closed: cumulative discounted reward Σ η^i·r_{t+i} (§3.4). With
+// BatchSize > 1, matured decisions accumulate (in decision order) into
+// one averaged optimizer step per full minibatch.
 func (s *Scheduler) trainPending() {
 	cut := 0
-	for _, d := range s.pending {
+	for i := range s.pending {
+		d := &s.pending[i]
 		if s.round-d.round < s.cfg.RewardDelayRounds {
 			break
 		}
 		var r float64
-		for i := 0; i < s.cfg.RewardDelayRounds; i++ {
-			idx := d.round + i
+		for k := 0; k < s.cfg.RewardDelayRounds; k++ {
+			idx := d.round + k
 			if idx < len(s.rewards) {
-				r += math.Pow(s.cfg.Eta, float64(i)) * s.rewards[idx]
+				r += math.Pow(s.cfg.Eta, float64(k)) * s.rewards[idx]
 			}
 		}
-		s.policy.Reinforce(d.candidates, d.chosen, r)
+		if s.cfg.BatchSize <= 1 {
+			s.policy.ReinforceBatch(d.feats, d.chosen, r)
+		} else if s.policy.AccumReinforce(d.feats, d.chosen, r) &&
+			s.policy.Accumulated() >= s.cfg.BatchSize {
+			s.policy.Step()
+		}
 		s.updates++
+		s.releaseFeats(d.feats)
+		d.feats = nil
 		cut++
 	}
 	s.pending = s.pending[cut:]
@@ -231,14 +300,11 @@ func (s *Scheduler) trainPending() {
 // each destination with the policy network.
 func (s *Scheduler) placeQueue(ctx *sched.Context, prios *core.Priorities) {
 	jobs := ctx.PendingJobs()
-	type scored struct {
-		j *job.Job
-		p float64
-	}
-	order := make([]scored, 0, len(jobs))
+	s.order = s.order[:0]
 	for _, j := range jobs {
-		order = append(order, scored{j, prios.JobOrder(ctx.QueuedTasksOf(j))})
+		s.order = append(s.order, scoredJob{j, prios.JobOrder(ctx.QueuedTasksOf(j))})
 	}
+	order := s.order
 	sort.SliceStable(order, func(i, k int) bool {
 		if order[i].p != order[k].p {
 			return order[i].p > order[k].p
@@ -256,16 +322,37 @@ func (s *Scheduler) placeQueue(ctx *sched.Context, prios *core.Priorities) {
 	}
 }
 
+// captureFeats copies the scored candidate matrix into a freelist-backed
+// matrix owned by a pending decision.
+func (s *Scheduler) captureFeats(x *nn.Matrix) *nn.Matrix {
+	var m *nn.Matrix
+	if n := len(s.featFree); n > 0 {
+		m = s.featFree[n-1]
+		s.featFree = s.featFree[:n-1]
+		m.Reshape(x.Rows, x.Cols)
+	} else {
+		m = nn.NewMatrix(x.Rows, x.Cols)
+	}
+	copy(m.Data, x.Data)
+	return m
+}
+
+// releaseFeats returns a decision's feature matrix to the freelist.
+func (s *Scheduler) releaseFeats(m *nn.Matrix) {
+	s.featFree = append(s.featFree, m)
+}
+
 // chooseServer scores the candidate servers with the policy and picks one
 // (imitating MLF-H's choice during the training phase).
 func (s *Scheduler) chooseServer(ctx *sched.Context, t *job.Task, candidates []int, prios *core.Priorities) (int, int, bool) {
-	fit := make([]int, 0, len(candidates))
+	fit := s.fit[:0]
 	for _, si := range candidates {
 		dev := ctx.Cluster.Server(si).LeastLoadedDevice()
 		if ctx.Cluster.Fits(si, dev.ID(), t.Demand, t.GPUShare, ctx.HR) {
 			fit = append(fit, si)
 		}
 	}
+	s.fit = fit
 	if len(fit) == 0 {
 		return 0, 0, false
 	}
@@ -281,9 +368,9 @@ func (s *Scheduler) chooseServer(ctx *sched.Context, t *job.Task, candidates []i
 		})
 		fit = fit[:s.cfg.MaxCandidates]
 	}
-	feats := make([][]float64, len(fit))
+	feats := s.policy.Candidates(len(fit))
 	for i, si := range fit {
-		feats[i] = Features(ctx, t, si, prios)
+		FeaturesInto(feats.Row(i), ctx, t, si, prios)
 	}
 
 	var chosen int
@@ -300,12 +387,19 @@ func (s *Scheduler) chooseServer(ctx *sched.Context, t *job.Task, candidates []i
 				break
 			}
 		}
-		s.policy.Imitate(feats, chosen)
+		if s.cfg.BatchSize <= 1 {
+			s.policy.ImitateBatch(feats, chosen)
+		} else {
+			s.policy.AccumImitate(feats, chosen)
+			if s.policy.Accumulated() >= s.cfg.BatchSize {
+				s.policy.Step()
+			}
+		}
 		s.imitated++
 	} else {
 		explore := s.cfg.Explore && s.policy.Flip(s.cfg.Epsilon)
-		chosen, _ = s.policy.Choose(feats, explore)
-		s.pending = append(s.pending, decision{round: s.round, candidates: feats, chosen: chosen})
+		chosen, _ = s.policy.ChooseBatch(feats, explore)
+		s.pending = append(s.pending, decision{round: s.round, feats: s.captureFeats(feats), chosen: chosen})
 	}
 	si := fit[chosen]
 	return si, ctx.Cluster.Server(si).LeastLoadedDevice().ID(), true
@@ -316,7 +410,7 @@ func (s *Scheduler) chooseServer(ctx *sched.Context, t *job.Task, candidates []i
 // a victim (see the deviation note on core.MLFH.relieveOverloads).
 func (s *Scheduler) relieveOverloads(ctx *sched.Context, prios *core.Priorities) {
 	for _, si := range ctx.Cluster.Overloaded(ctx.HR) {
-		tried := make(map[job.TaskID]bool)
+		clear(s.tried)
 		for moved := 0; moved < 8; moved++ {
 			srv := ctx.Cluster.Server(si)
 			if !srv.Overloaded(ctx.HR) {
@@ -327,10 +421,10 @@ func (s *Scheduler) relieveOverloads(ctx *sched.Context, prios *core.Priorities)
 				break
 			}
 			victim := s.heur.SelectMigrationTask(ctx, prios, si)
-			if victim == nil || tried[victim.ID] {
+			if victim == nil || s.tried[victim.ID] {
 				break
 			}
-			tried[victim.ID] = true
+			s.tried[victim.ID] = true
 			dst, dev, ok := s.chooseServer(ctx, victim, cand, prios)
 			if !ok {
 				break
@@ -345,6 +439,15 @@ func (s *Scheduler) relieveOverloads(ctx *sched.Context, prios *core.Priorities)
 // Features builds the policy input vector for placing task t on server
 // si. Exported for tests and for the mlfs facade's introspection tools.
 func Features(ctx *sched.Context, t *job.Task, si int, prios *core.Priorities) []float64 {
+	f := make([]float64, FeatureSize)
+	FeaturesInto(f, ctx, t, si, prios)
+	return f
+}
+
+// FeaturesInto fills dst (length FeatureSize) with the policy input
+// vector for placing task t on server si — the allocation-free form the
+// scoring hot path writes straight into a candidate matrix row.
+func FeaturesInto(dst []float64, ctx *sched.Context, t *job.Task, si int, prios *core.Priorities) {
 	j := t.Job
 	srv := ctx.Cluster.Server(si)
 	u := srv.Utilization()
@@ -367,7 +470,7 @@ func Features(ctx *sched.Context, t *job.Task, si int, prios *core.Priorities) [
 	if t.IsPS {
 		isPS = 1
 	}
-	f := []float64{
+	f := [FeatureSize]float64{
 		// Task / job features (§3.4 state list).
 		t.NormSize(),
 		j.Curve.TemporalPriority(j.Iteration()),
@@ -390,8 +493,5 @@ func Features(ctx *sched.Context, t *job.Task, si int, prios *core.Priorities) [
 		// Interaction: communication affinity.
 		core.CommVolumeWith(ctx, t, si) / 200,
 	}
-	if len(f) != FeatureSize {
-		panic("mlfrl: feature size mismatch")
-	}
-	return f
+	copy(dst[:FeatureSize], f[:])
 }

@@ -50,6 +50,7 @@ var DeterministicPaths = []string{
 	"mlfs/internal/core",
 	"mlfs/internal/baselines",
 	"mlfs/internal/queue",
+	"mlfs/internal/nn",
 }
 
 // Package is one loaded, parsed and type-checked package. Test files

@@ -28,6 +28,28 @@ func NewMatrix(rows, cols int) *Matrix {
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Reshape resizes m in place to rows×cols, reusing the backing array
+// when it has the capacity and growing it otherwise, and returns m. The
+// element values after a Reshape are unspecified — callers overwrite
+// them. This is how the batched engine's scratch matrices are recycled
+// across calls without allocating.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid reshape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
@@ -103,23 +125,33 @@ func Softmax(logits []float64) []float64 {
 	if len(logits) == 0 {
 		return nil
 	}
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxInto writes the softmax of logits into dst (which must have
+// the same length) and returns dst. The allocation-free form used by
+// the batched policy scoring path; the operation order is identical to
+// Softmax, so the two are bit-identical.
+func SoftmaxInto(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxInto got dst len %d, want %d", len(dst), len(logits)))
+	}
 	max := logits[0]
 	for _, v := range logits[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }
 
 // CrossEntropy returns −log p[target], clamped away from infinity.

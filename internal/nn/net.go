@@ -66,6 +66,62 @@ func (n *Net) Forward(x []float64) []float64 {
 	return a
 }
 
+// ForwardBatch computes the output logits for a whole batch of inputs
+// (one per row of x) with one fused GEMM per layer, storing the
+// per-layer activations in ws for a following BackpropBatch. The
+// returned batch×outputSize matrix is workspace scratch, valid until
+// the next ForwardBatch on ws. Row r of the result is bit-identical to
+// Forward(x.Row(r)): the batched kernels keep every dot product's
+// accumulation order, for any worker count.
+func (n *Net) ForwardBatch(x *Matrix, ws *Workspace) *Matrix {
+	if x.Cols != n.InputSize() {
+		panic(fmt.Sprintf("nn: ForwardBatch input size %d, want %d", x.Cols, n.InputSize()))
+	}
+	ws.ensureBatch(n, x.Rows)
+	ws.acts[0] = x
+	for l := range n.W {
+		mulABT(ws.acts[l+1], ws.acts[l], n.W[l], n.B[l], l < len(n.W)-1, ws.pool)
+	}
+	return ws.acts[len(n.W)]
+}
+
+// BackpropBatch accumulates into g the parameter gradients of a scalar
+// loss over the batch most recently run through ForwardBatch(x, ws),
+// where dOut[r] is the gradient w.r.t. the output logits of batch row
+// r. The accumulated gradients are bit-identical to calling Backprop
+// per row in ascending order (the gradient w.r.t. the inputs is not
+// computed — no caller uses it), again for any worker count.
+func (n *Net) BackpropBatch(dOut *Matrix, ws *Workspace, g *Grads) {
+	last := len(n.W) - 1
+	m := dOut.Rows
+	if ws.net != n || ws.acts[last+1].Rows != m {
+		panic("nn: BackpropBatch without a matching ForwardBatch")
+	}
+	if dOut.Cols != n.OutputSize() {
+		panic(fmt.Sprintf("nn: BackpropBatch dOut size %d, want %d", dOut.Cols, n.OutputSize()))
+	}
+	delta := ws.deltas[last]
+	copy(delta.Data, dOut.Data[:m*dOut.Cols])
+	for l := last; l >= 0; l-- {
+		if l < last {
+			// ReLU derivative on the post-activation values, exactly as
+			// the per-sample path: zero the delta where the activation
+			// was clamped.
+			act := ws.acts[l+1]
+			for i, v := range act.Data {
+				if v <= 0 {
+					delta.Data[i] = 0
+				}
+			}
+		}
+		accumGrad(g.DW[l], g.DB[l], delta, ws.acts[l], ws.pool)
+		if l > 0 {
+			mulAB(ws.deltas[l-1], delta, n.W[l], ws.pool)
+			delta = ws.deltas[l-1]
+		}
+	}
+}
+
 // Grads accumulates parameter gradients shaped like a Net.
 type Grads struct {
 	DW []*Matrix
@@ -193,6 +249,11 @@ func NewAdam(n *Net, lr float64) *Adam {
 	}
 	return a
 }
+
+// StepCount reports how many optimiser steps have been applied. With
+// minibatch training this advances once per flushed batch, not once per
+// recorded decision.
+func (a *Adam) StepCount() int { return a.t }
 
 // Apply performs one Adam step with gradients g.
 func (a *Adam) Apply(n *Net, g *Grads) {

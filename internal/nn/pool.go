@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for the batched kernels. It follows
+// the same contract as the simulator's advance pool (sim.advancePool):
+// workers are spawned once, park on a kick channel between calls, and
+// pull block indices off a shared atomic cursor, so a steady-state Run
+// makes no allocations. Every block writes a disjoint region of the
+// output and every output element is computed by exactly one worker in
+// a fixed accumulation order, so results are bit-identical for any
+// worker count — the blocks only decide who computes what, never in
+// which order values are combined.
+type Pool struct {
+	n      int
+	kick   chan struct{}
+	wg     sync.WaitGroup
+	cursor atomic.Int64
+	blocks int
+	run    func(block int)
+}
+
+// NewPool returns a pool of the given width (0 or less means
+// GOMAXPROCS). Goroutines are spawned lazily on the first parallel Run,
+// so a pool that never sees work above the kernels' parallel thresholds
+// costs nothing.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{n: workers}
+}
+
+// Workers reports the pool width (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// Run invokes fn(b) for every block b in [0, nblocks), fanning out over
+// the pool when it has more than one worker. fn must only write state
+// owned by its block; Run returns after every block completed.
+func (p *Pool) Run(nblocks int, fn func(block int)) {
+	if p == nil || p.n <= 1 || nblocks <= 1 {
+		for b := 0; b < nblocks; b++ {
+			fn(b)
+		}
+		return
+	}
+	p.ensure()
+	// Written before the kicks: the channel send happens-before each
+	// worker's receive, and wg.Wait happens-after every Done.
+	p.blocks = nblocks
+	p.run = fn
+	p.cursor.Store(0)
+	p.wg.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		p.kick <- struct{}{}
+	}
+	p.wg.Wait()
+	p.run = nil
+}
+
+// ensure lazily spawns the workers.
+func (p *Pool) ensure() {
+	if p.kick != nil {
+		return
+	}
+	p.kick = make(chan struct{}, p.n)
+	for w := 0; w < p.n; w++ {
+		go func() {
+			for range p.kick {
+				for {
+					b := int(p.cursor.Add(1)) - 1
+					if b >= p.blocks {
+						break
+					}
+					p.run(b)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close releases the workers (idempotent; the pool must be idle).
+func (p *Pool) Close() {
+	if p == nil || p.kick == nil {
+		return
+	}
+	close(p.kick)
+	p.kick = nil
+}

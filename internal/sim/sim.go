@@ -239,6 +239,11 @@ func New(cfg Config) (*Simulator, error) {
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() (*metrics.Result, error) {
 	defer s.closePool()
+	// Schedulers that own resources (MLF-RL's neural-engine worker pool)
+	// release them when the run ends.
+	if c, ok := s.sched.(interface{ Close() }); ok {
+		defer c.Close()
+	}
 	dt := s.cfg.TickSec
 	for {
 		s.admitArrivals()

@@ -59,6 +59,10 @@ func (s *composite) Schedule(ctx *sched.Context) {
 	s.c.Control(ctx)
 }
 
+// Close releases MLF-RL's neural-engine worker pool (the simulator
+// calls it at the end of a run).
+func (s *composite) Close() { s.rl.Close() }
+
 // SchedulerOptions tune the MLFS-family schedulers. The zero value means
 // the paper's §4.1 defaults.
 type SchedulerOptions struct {
@@ -74,6 +78,13 @@ type SchedulerOptions struct {
 	ImitationRounds int
 	// Betas overrides the Eq. 7 reward weights (β₁..β₅) when non-zero.
 	Betas [5]float64
+	// RLBatch sets MLF-RL's minibatch size: how many recorded decisions
+	// accumulate into one optimizer step (default 1 — per-decision
+	// updates, bit-identical to the historical training schedule).
+	RLBatch int
+	// NNWorkers is the width of the neural engine's worker pool
+	// (0 = GOMAXPROCS). Results are bit-identical for any width.
+	NNWorkers int
 
 	// Ablation switches (Figs. 6–9).
 	DisableUrgency   bool
@@ -127,6 +138,10 @@ func (o SchedulerOptions) mlfrl() *mlfrl.Scheduler {
 	if o.Betas != ([5]float64{}) {
 		cfg.Betas = o.Betas
 	}
+	if o.RLBatch > 0 {
+		cfg.BatchSize = o.RLBatch
+	}
+	cfg.NNWorkers = o.NNWorkers
 	return mlfrl.New(cfg)
 }
 
