@@ -1,16 +1,17 @@
 # Developer entry points. `make ci` is the gate every change must pass:
-# vet, the invariant linters, the full test suite, a focused race pass
-# over the NN engine + MLF-RL (the packages that own worker pools), and
-# the test suite again under the race detector (the simulator fans
-# per-tick work out over a goroutine pool, so races are a first-class
-# failure mode here). `make lint` runs cmd/mlfs-lint, the in-repo
-# analyzer suite that mechanically enforces the determinism and
-# epoch-cache invariants of DESIGN.md §8 (add `-json` by hand for
-# machine-readable output).
+# vet, the invariant linters, the package-comment check, the full test
+# suite, focused race passes over the NN engine + MLF-RL and over the
+# fault-injection paths (sim + cluster), and the test suite again under
+# the race detector (the simulator fans per-tick work out over a
+# goroutine pool, so races are a first-class failure mode here).
+# `make lint` runs cmd/mlfs-lint, the in-repo analyzer suite that
+# mechanically enforces the determinism and epoch-cache invariants of
+# DESIGN.md §8 (add `-json` by hand for machine-readable output);
+# `make docs` fails if any package lacks a package comment.
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-nn ci bench nnbench simbench
+.PHONY: all build test vet lint docs race race-nn race-fault ci bench nnbench simbench faultbench
 
 all: build
 
@@ -26,6 +27,12 @@ vet:
 lint:
 	$(GO) run ./cmd/mlfs-lint ./internal/... ./cmd/...
 
+# Documentation gate: every package (the library root included) must
+# carry a package comment stating role, determinism contract and lint
+# enrollment.
+docs:
+	$(GO) run ./cmd/mlfs-lint -checks pkgdoc . ./internal/... ./cmd/... ./examples/...
+
 race:
 	$(GO) test -race ./...
 
@@ -34,7 +41,13 @@ race:
 race-nn:
 	$(GO) test -race ./internal/nn/ ./internal/core/mlfrl/
 
-ci: vet lint test race-nn race
+# Focused race pass over the fault-injection and recovery paths: the
+# simulator (failure events interleaved with the advance pool) and the
+# cluster (up/down state + epoch-safe eviction).
+race-fault:
+	$(GO) test -race ./internal/sim/ ./internal/cluster/
+
+ci: vet lint docs test race-nn race-fault race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation
@@ -51,3 +64,8 @@ nnbench:
 # End-to-end hot-path numbers -> results/BENCH_sim.json.
 simbench:
 	$(GO) run ./cmd/mlfs-bench -out results -simbench
+
+# JCT degradation vs server MTTF under fault injection
+# -> results/BENCH_fault.json.
+faultbench:
+	$(GO) run ./cmd/mlfs-bench -out results -faultbench

@@ -13,6 +13,10 @@
 // micro paths, batched engine vs the historical per-candidate
 // reference, written to BENCH_nn.json.
 //
+// With -faultbench it sweeps JCT degradation versus server MTTF under
+// fault injection (identical failure traces for every scheduler) and
+// writes BENCH_fault.json.
+//
 // Examples:
 //
 //	mlfs-bench -out results/                   # everything, Figure-4 scale
@@ -20,6 +24,7 @@
 //	mlfs-bench -out results/ -scale 100        # Figure 5 at 1/100 job counts
 //	mlfs-bench -out results/ -quick -ascii     # fast pass with ASCII charts
 //	mlfs-bench -out results/ -simbench         # hot-path numbers -> BENCH_sim.json
+//	mlfs-bench -out results/ -faultbench       # MTTF sweep -> BENCH_fault.json
 package main
 
 import (
@@ -55,6 +60,8 @@ func main() {
 		nnbench = flag.Bool("nnbench", false, "profile the MLF-RL policy engine and write BENCH_nn.json")
 		nnBase  = flag.Float64("nnbench-baseline", 9.2,
 			"recorded wall-seconds of the mlf-rl Figure-4 sweep before NN batching (0 to omit the comparison)")
+		faultbench = flag.Bool("faultbench", false, "sweep JCT degradation vs server MTTF and write BENCH_fault.json")
+		faultJobs  = flag.Int("faultbench-jobs", 155, "job count for -faultbench runs")
 	)
 	flag.Parse()
 
@@ -69,6 +76,12 @@ func main() {
 	}
 	if *nnbench {
 		if err := runNNBench(filepath.Join(*out, "BENCH_nn.json"), *nnBase); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *faultbench {
+		if err := runFaultBench(filepath.Join(*out, "BENCH_fault.json"), *seed, *faultJobs); err != nil {
 			fatal(err)
 		}
 		return

@@ -44,3 +44,47 @@ func TestAdvanceWorkersDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestFailureDeterminism extends the worker-count guarantee to fault
+// injection: with failures enabled, the injected event sequence and all
+// recovery effects (evictions, rollbacks, restarts, kills) must be
+// bit-identical between serial and parallel advancement for every
+// scheduler. (Scheduler-independence of the failure trace itself is
+// pinned at a fixed horizon by the internal/sim fault tests — at the
+// facade, runs end when their last job does, so faster schedulers
+// legitimately observe a shorter prefix of the same event stream.)
+func TestFailureDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism check")
+	}
+	failures := FailureConfig{MTTFSec: 4 * 3600, MTTRSec: 600, Seed: 5}
+	for _, name := range []string{"mlfs", "tiresias", "gandiva", "tensorflow"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *Result {
+				res, err := Run(Options{
+					Scheduler:      name,
+					Jobs:           60,
+					Seed:           11,
+					SchedOpts:      SchedulerOptions{Seed: 11},
+					AdvanceWorkers: workers,
+					Failures:       failures,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Counters.SchedSeconds = 0
+				return res
+			}
+			serial := run(1)
+			parallel := run(8)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("fault-injected results differ between 1 and 8 advance workers:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+			if serial.Counters.ServerFailures == 0 {
+				t.Fatal("determinism check vacuous: no failures injected")
+			}
+		})
+	}
+}

@@ -8,6 +8,13 @@
 // simulator models synchronous training; they differ — exactly as the
 // originals do — in job ordering, server choice, overload handling and
 // what they optimise.
+//
+// Determinism: every baseline is a pure function of the scheduling
+// context it is handed plus, where a policy calls for randomness (the RL
+// device-placement scheduler), an explicitly seeded source. The package
+// is enrolled in the lint DeterministicPaths registry, so the mapiter,
+// noclock and sharedcapture analyzers gate it on every `make lint`,
+// alongside the repo-wide epochguard, floatcmp and pkgdoc checks.
 package baselines
 
 import (

@@ -69,6 +69,12 @@ type Server struct {
 	devices  []*Device
 	tasks    map[TaskRef]*Placement //mlfs:guarded
 
+	// up marks the server in service. A failed server (fault injection,
+	// see FaultProcess) rejects placements and is excluded from the
+	// Underloaded candidate set until repaired. Servers start up; only
+	// Cluster.FailServer / Cluster.RepairServer flip this.
+	up bool
+
 	// epoch counts load changes on this server (placements, removals,
 	// demand updates). It lets callers cache anything derived from the
 	// server's load and invalidate with a single integer comparison
@@ -96,6 +102,9 @@ func (s *Server) ID() int { return s.id }
 // placement, removal or demand update on this server. Two equal epoch
 // reads bracket an unchanged load state.
 func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Up reports whether the server is in service (not failed).
+func (s *Server) Up() bool { return s.up }
 
 // Capacity returns the per-resource capacity vector.
 func (s *Server) Capacity() Vec { return s.capacity }
@@ -286,6 +295,7 @@ func New(cfg Config) *Cluster {
 		}
 		s := &Server{
 			id:     i,
+			up:     true,
 			tasks:  make(map[TaskRef]*Placement),
 			utilEp: ^uint64(0), // cache epochs start invalid (epoch is 0)
 			normEp: ^uint64(0),
@@ -349,6 +359,9 @@ func (c *Cluster) Place(t TaskRef, server, device int, demand Vec, gpuShare floa
 		return fmt.Errorf("cluster: server %d out of range [0,%d)", server, len(c.servers))
 	}
 	s := c.servers[server]
+	if !s.up {
+		return fmt.Errorf("cluster: server %d is down", server)
+	}
 	if device < 0 || device >= len(s.devices) {
 		return fmt.Errorf("cluster: device %d out of range on server %d", device, server)
 	}
@@ -384,6 +397,52 @@ func (c *Cluster) Remove(t TaskRef) *Placement {
 	s.bump()
 	c.bump()
 	return p
+}
+
+// FailServer marks server i down and evicts every task placed on it,
+// returning the evicted placements in ascending task order (nil when the
+// server was already down). Eviction goes through Remove so the epoch
+// machinery and guarded load fields stay consistent; callers (the
+// simulator's fault loop) requeue the displaced tasks through the
+// scheduler. A down server rejects Place, fails Fits and is excluded
+// from Underloaded until RepairServer.
+func (c *Cluster) FailServer(i int) []*Placement {
+	s := c.servers[i]
+	if !s.up {
+		return nil
+	}
+	s.up = false
+	evicted := s.Tasks() // sorted snapshot: Remove mutates s.tasks underneath
+	for _, p := range evicted {
+		c.Remove(p.Task)
+	}
+	s.bump()
+	c.bump()
+	return evicted
+}
+
+// RepairServer returns server i to service. Evicted placements are not
+// restored — displaced tasks re-enter through the normal scheduling
+// path, modelling a restart-from-checkpoint rather than live migration.
+func (c *Cluster) RepairServer(i int) {
+	s := c.servers[i]
+	if s.up {
+		return
+	}
+	s.up = true
+	s.bump()
+	c.bump()
+}
+
+// NumUp returns the number of in-service servers.
+func (c *Cluster) NumUp() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.up {
+			n++
+		}
+	}
+	return n
 }
 
 // SetDemand updates the resource consumption of a placed task in place —
@@ -424,6 +483,9 @@ func (c *Cluster) UpdateDemand(p *Placement, demand Vec, gpuShare float64) {
 // task" check (§3.3.2).
 func (c *Cluster) Fits(server, device int, demand Vec, gpuShare float64, hr float64) bool {
 	s := c.servers[server]
+	if !s.up {
+		return false
+	}
 	after := s.used.Add(demand).Div(s.capacity)
 	if after.AnyAbove(hr) {
 		return false
@@ -436,11 +498,14 @@ func (c *Cluster) Fits(server, device int, demand Vec, gpuShare float64, hr floa
 }
 
 // Underloaded returns the indices of servers that are not overloaded at
-// threshold hr, in ascending order.
+// threshold hr, in ascending order. Failed servers are never candidates:
+// every placement path (PlaceGang choosers, migration destinations)
+// draws from this set, so excluding them here keeps all schedulers off
+// down machines without each policy knowing about failures.
 func (c *Cluster) Underloaded(hr float64) []int {
 	var out []int
 	for i, s := range c.servers {
-		if !s.Overloaded(hr) {
+		if s.up && !s.Overloaded(hr) {
 			out = append(out, i)
 		}
 	}

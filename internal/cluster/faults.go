@@ -1,0 +1,76 @@
+package cluster
+
+import "math/rand"
+
+// FaultProcess generates a deterministic stream of server failure and
+// repair events from seeded exponential inter-arrival processes — the
+// standard MTTF/MTTR renewal model (each server fails after
+// Exp(MTTF) up-time and returns after Exp(MTTR) down-time,
+// independently of the others).
+//
+// Determinism contract: every server draws from its own *rand.Rand,
+// seeded once from a master stream, so the event sequence is a pure
+// function of (seed, server count, MTTF, MTTR) — independent of tick
+// length, scheduler choice and simulator worker count. Events are
+// popped in (time, server-index) order; ties break toward the lowest
+// server index. The process never reads the wall clock (noclock) and
+// never ranges a map (mapiter).
+type FaultProcess struct {
+	mttf float64
+	mttr float64
+	rngs []*rand.Rand
+	down []bool    // shadow up/down state: true ⇒ next transition is a repair
+	next []float64 // absolute sim-time (seconds) of each server's next transition
+}
+
+// NewFaultProcess builds the event stream for n servers with the given
+// mean time to failure / repair (seconds, both must be > 0) and seed.
+// Equal seeds reproduce equal event sequences.
+func NewFaultProcess(n int, mttfSec, mttrSec float64, seed int64) *FaultProcess {
+	master := rand.New(rand.NewSource(seed))
+	f := &FaultProcess{
+		mttf: mttfSec,
+		mttr: mttrSec,
+		rngs: make([]*rand.Rand, n),
+		down: make([]bool, n),
+		next: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		f.rngs[i] = rand.New(rand.NewSource(master.Int63()))
+		f.next[i] = f.rngs[i].ExpFloat64() * mttfSec
+	}
+	return f
+}
+
+// Next pops the earliest pending transition at or before horizon
+// (seconds of sim time). It returns the server index, whether the
+// server goes down (true) or comes back up (false), and the event time;
+// ok is false when no transition falls within the horizon. Calling Next
+// repeatedly with the same horizon drains all due events in
+// (time, server) order.
+func (f *FaultProcess) Next(horizon float64) (server int, down bool, at float64, ok bool) {
+	best := -1
+	for i := range f.next {
+		if f.next[i] > horizon {
+			continue
+		}
+		// Strict < with ascending scan: the earliest event wins, ties
+		// break toward the lowest server index — deterministic without
+		// exact float equality.
+		if best < 0 || f.next[i] < f.next[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false, 0, false
+	}
+	at = f.next[best]
+	down = !f.down[best]
+	f.down[best] = down
+	mean := f.mttf
+	if down {
+		mean = f.mttr // downtime until the matching repair
+	}
+	f.next[best] = at + f.rngs[best].ExpFloat64()*mean
+	return best, down, at, true
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFailServerEvictsAndBlocks(t *testing.T) {
+	c := smallCluster()
+	demand := Vec{ResGPU: 0.5, ResCPU: 1, ResMemory: 2, ResBandwidth: 10}
+	for i, tr := range []TaskRef{7, 3, 11} {
+		if err := c.Place(tr, 1, i%2, demand, 0.5); err != nil {
+			t.Fatalf("Place(%d): %v", tr, err)
+		}
+	}
+	before := c.Server(1).Epoch()
+
+	evicted := c.FailServer(1)
+	if len(evicted) != 3 {
+		t.Fatalf("evicted %d placements, want 3", len(evicted))
+	}
+	// Ascending task order, independent of placement order.
+	var order []TaskRef
+	for _, p := range evicted {
+		order = append(order, p.Task)
+	}
+	if want := []TaskRef{3, 7, 11}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("eviction order = %v, want %v", order, want)
+	}
+	s := c.Server(1)
+	if s.Up() {
+		t.Fatal("server still up after FailServer")
+	}
+	if s.NumTasks() != 0 || c.NumTasks() != 0 {
+		t.Fatalf("tasks remain after failure: server=%d cluster=%d", s.NumTasks(), c.NumTasks())
+	}
+	if s.Used() != (Vec{}) {
+		t.Fatalf("used not released: %v", s.Used())
+	}
+	if s.Epoch() == before {
+		t.Fatal("epoch did not advance on failure")
+	}
+
+	// Down server rejects every placement path.
+	if err := c.Place(99, 1, 0, demand, 0.5); err == nil {
+		t.Fatal("Place on down server succeeded")
+	}
+	if c.Fits(1, 0, demand, 0.5, 0.9) {
+		t.Fatal("Fits true on down server")
+	}
+	if got := c.Underloaded(0.9); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Underloaded = %v, want [0 2]", got)
+	}
+	if c.NumUp() != 2 {
+		t.Fatalf("NumUp = %d, want 2", c.NumUp())
+	}
+
+	// Failing an already-down server is a no-op.
+	if again := c.FailServer(1); again != nil {
+		t.Fatalf("second FailServer evicted %v", again)
+	}
+
+	c.RepairServer(1)
+	if !c.Server(1).Up() {
+		t.Fatal("server down after RepairServer")
+	}
+	if err := c.Place(99, 1, 0, demand, 0.5); err != nil {
+		t.Fatalf("Place after repair: %v", err)
+	}
+	if got := c.Underloaded(0.9); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Underloaded after repair = %v", got)
+	}
+}
+
+type faultEvent struct {
+	Server int
+	Down   bool
+	At     float64
+}
+
+func drain(f *FaultProcess, horizon float64) []faultEvent {
+	var out []faultEvent
+	for {
+		s, d, at, ok := f.Next(horizon)
+		if !ok {
+			return out
+		}
+		out = append(out, faultEvent{s, d, at})
+	}
+}
+
+func TestFaultProcessDeterministic(t *testing.T) {
+	a := drain(NewFaultProcess(8, 3600, 600, 42), 7*24*3600)
+	b := drain(NewFaultProcess(8, 3600, 600, 42), 7*24*3600)
+	if len(a) == 0 {
+		t.Fatal("no events in a week with MTTF=1h")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different event sequences")
+	}
+	c := drain(NewFaultProcess(8, 3600, 600, 43), 7*24*3600)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical event sequences")
+	}
+}
+
+func TestFaultProcessEventInvariants(t *testing.T) {
+	events := drain(NewFaultProcess(4, 1800, 300, 7), 3*24*3600)
+	if len(events) < 10 {
+		t.Fatalf("only %d events, want a rich sequence", len(events))
+	}
+	last := -1.0
+	state := make([]bool, 4) // down?
+	for i, e := range events {
+		if e.At < last {
+			t.Fatalf("event %d out of order: %v after t=%v", i, e, last)
+		}
+		last = e.At
+		if e.Down == state[e.Server] {
+			t.Fatalf("event %d does not alternate for server %d: %+v", i, e.Server, e)
+		}
+		state[e.Server] = e.Down
+	}
+}
+
+func TestFaultProcessIncrementalDrainMatchesBulk(t *testing.T) {
+	// Draining tick-by-tick (as the simulator does) must yield the same
+	// sequence as draining the whole horizon at once.
+	bulk := drain(NewFaultProcess(6, 3600, 600, 5), 24*3600)
+	f := NewFaultProcess(6, 3600, 600, 5)
+	var inc []faultEvent
+	const tick = 60.0
+	for h := tick; h <= 24*3600; h += tick {
+		inc = append(inc, drain(f, h)...)
+	}
+	if !reflect.DeepEqual(bulk, inc) {
+		t.Fatalf("incremental drain diverges from bulk drain:\nbulk %d events\ninc  %d events", len(bulk), len(inc))
+	}
+}

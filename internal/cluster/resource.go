@@ -5,6 +5,15 @@
 //
 // All quantities are unitless "capacity units" except where noted; the
 // simulator decides the interpretation (e.g. bandwidth in MB/s).
+//
+// Determinism and caching contract: server load state moves only through
+// epoch-bumping mutators (Place, Remove, UpdateDemand, FailServer,
+// RepairServer), so the simulator's epoch-keyed iteration-cost caches
+// can trust a server's epoch for invalidation — the epochguard analyzer
+// enforces this mechanically. Fault injection (faults.go) draws from
+// per-server seeded streams only. The package is enrolled in the lint
+// DeterministicPaths registry (mapiter, noclock, sharedcapture), plus
+// the repo-wide epochguard, floatcmp and pkgdoc checks.
 package cluster
 
 import (

@@ -5,6 +5,11 @@
 // effective stop option says their training should end — freeing
 // resources that improve both JCT and accuracy-by-deadline for everyone
 // else (Fig 9).
+//
+// Determinism: stop decisions are pure functions of the scheduling
+// context. As a subpackage of core, mlfc is enrolled in the lint
+// DeterministicPaths registry (mapiter, noclock, sharedcapture), plus
+// the repo-wide epochguard, floatcmp and pkgdoc checks.
 package mlfc
 
 import (

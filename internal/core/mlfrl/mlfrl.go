@@ -12,6 +12,12 @@
 // migration bookkeeping) are reused across rounds, so a steady-state
 // scheduling decision allocates nothing. Results are bit-identical to
 // the per-candidate path for any engine worker count.
+//
+// Determinism: exploration and weight initialisation use explicitly
+// seeded sources, so training and inference replay bit-identically under
+// a fixed seed. As a subpackage of core, mlfrl is enrolled in the lint
+// DeterministicPaths registry (mapiter, noclock, sharedcapture), plus
+// the repo-wide epochguard, floatcmp and pkgdoc checks.
 package mlfrl
 
 import (
@@ -132,10 +138,10 @@ type Scheduler struct {
 
 	// Per-round scratch, reused so the decision hot path makes no
 	// steady-state allocations.
-	fit      []int                // candidate servers passing the fit check
-	order    []scoredJob          // priority-ordered pending jobs
-	tried    map[job.TaskID]bool  // migration victims already attempted
-	featFree []*nn.Matrix         // freelist backing decision.feats
+	fit      []int               // candidate servers passing the fit check
+	order    []scoredJob         // priority-ordered pending jobs
+	tried    map[job.TaskID]bool // migration victims already attempted
+	featFree []*nn.Matrix        // freelist backing decision.feats
 }
 
 // New builds an MLF-RL scheduler.

@@ -2,6 +2,13 @@
 // task priority (Eqs. 2–6), the MLF-H heuristic scheduler (§3.3), the
 // MLF-RL reinforcement-learning scheduler (§3.4, in subpackage mlfrl), the
 // MLF-C load controller (§3.5, in subpackage mlfc) and the MLFS composite.
+//
+// Determinism: priorities and schedules are pure functions of job and
+// cluster state; MLF-RL's sampling uses explicitly seeded sources. core
+// and its subpackages are enrolled in the lint DeterministicPaths
+// registry, so the mapiter, noclock and sharedcapture analyzers gate
+// them on every `make lint`, alongside the repo-wide epochguard,
+// floatcmp and pkgdoc checks.
 package core
 
 import (

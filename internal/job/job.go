@@ -9,6 +9,12 @@
 // (partition sizes, dependency structure) and training progress; it does
 // not know about servers or scheduling. Jobs are owned and mutated by a
 // single simulator goroutine and are not safe for concurrent use.
+//
+// Determinism: job and task construction is a pure function of the trace
+// record — no clocks, no unseeded randomness. The package is not in the
+// lint DeterministicPaths registry (its determinism is pinned by the
+// simulator's bit-identity tests instead); the repo-wide epochguard,
+// floatcmp and pkgdoc checks still apply.
 package job
 
 import (
@@ -83,6 +89,11 @@ const (
 	// Stopped: terminated early by MLF-C / OptStop before reaching
 	// I_max; its achieved accuracy stands.
 	Stopped
+	// Killed: abandoned by fault recovery after exhausting its retry
+	// budget (MaxRetries server failures hit the job). Its achieved
+	// accuracy stands, like Stopped, but it counts as a recovery
+	// failure in the metrics.
+	Killed
 )
 
 // String names the state.
@@ -96,6 +107,8 @@ func (s State) String() string {
 		return "finished"
 	case Stopped:
 		return "stopped"
+	case Killed:
+		return "killed"
 	default:
 		return "unknown"
 	}
@@ -213,6 +226,21 @@ type Job struct {
 	// EverPlaced reports whether all tasks were simultaneously placed at
 	// least once.
 	EverPlaced bool
+
+	// --- Fault-recovery state (owned by the simulator's fault loop;
+	// all zero and untouched when fault injection is disabled) ---
+
+	// CheckpointProgress is the iteration count of the last durable
+	// checkpoint. The simulator checkpoints every K iterations
+	// (FailureConfig.CheckpointEveryIters), so a failure rolls Progress
+	// back here and replays at most K−1 completed iterations.
+	CheckpointProgress float64
+	// Retries counts how many server failures have hit this job; when it
+	// exceeds the retry budget the job is Killed.
+	Retries int
+	// NextRetryAt is the simulation time before which the job's evicted
+	// tasks stay parked (exponential backoff between restarts).
+	NextRetryAt float64
 }
 
 // Iteration returns the 1-based index of the iteration the job is
@@ -241,15 +269,19 @@ func (j *Job) CompletedIterations() int {
 // Accuracy returns the true accuracy at the current progress.
 func (j *Job) Accuracy() float64 { return j.Curve.Accuracy(j.CompletedIterations()) }
 
-// Done reports whether the job has finished or been stopped.
-func (j *Job) Done() bool { return j.State == Finished || j.State == Stopped }
+// Done reports whether the job has finished, been stopped, or been
+// killed by fault recovery — i.e. it will never run again.
+func (j *Job) Done() bool { return j.State == Finished || j.State == Stopped || j.State == Killed }
 
 // JCT returns the job completion time (finish − arrival); it is only
 // meaningful once Done.
 func (j *Job) JCT() float64 { return j.FinishTime - j.Arrival }
 
-// DeadlineMet reports whether the job completed by its deadline.
-func (j *Job) DeadlineMet() bool { return j.Done() && j.FinishTime <= j.Deadline }
+// DeadlineMet reports whether the job completed by its deadline. A
+// Killed job never counts: it delivered nothing, whenever it died.
+func (j *Job) DeadlineMet() bool {
+	return j.Done() && j.State != Killed && j.FinishTime <= j.Deadline
+}
 
 // AccuracyMet reports whether the accuracy requirement was satisfied by
 // the deadline (§4.2: accuracy guarantee ratio).

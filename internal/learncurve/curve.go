@@ -9,6 +9,12 @@
 // accuracy). This package supplies exactly those quantities analytically,
 // replacing the PyTorch training runs of the paper's testbed (see
 // DESIGN.md, substitution table).
+//
+// Determinism: curve parameters are sampled once from an explicitly
+// seeded source; evaluation afterwards is closed-form arithmetic, so a
+// fixed seed reproduces identical accuracy trajectories. The package is
+// not in the lint DeterministicPaths registry; the repo-wide epochguard,
+// floatcmp and pkgdoc checks still apply.
 package learncurve
 
 import (

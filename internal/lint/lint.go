@@ -54,7 +54,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{mapIterAnalyzer, noClockAnalyzer, epochGuardAnalyzer, floatCmpAnalyzer, sharedCaptureAnalyzer}
+	return []*Analyzer{mapIterAnalyzer, noClockAnalyzer, epochGuardAnalyzer, floatCmpAnalyzer, sharedCaptureAnalyzer, pkgDocAnalyzer}
 }
 
 // AnalyzersByName resolves a comma-separated subset of analyzer names

@@ -114,6 +114,7 @@ var goldenFixtures = []struct {
 	{"epochguard", "epochguard", 1},
 	{"floatcmp", "floatcmp", 1},
 	{"sharedcapture", "sharedcapture", 1},
+	{"pkgdoc", "pkgdoc", 0},
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {
@@ -219,8 +220,8 @@ func TestDeterministicRegistry(t *testing.T) {
 
 func TestAnalyzersByName(t *testing.T) {
 	all, err := AnalyzersByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("AnalyzersByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("AnalyzersByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := AnalyzersByName("mapiter, floatcmp")
 	if err != nil || len(two) != 2 {

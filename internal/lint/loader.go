@@ -6,9 +6,10 @@
 // not feed scheduling decisions unsorted, deterministic packages must not
 // read wall clocks or the global math/rand source, epoch-guarded load
 // state must only move through its designated mutators, float equality
-// must be deliberate, and advance-pool goroutines must only read frozen
-// tick-start state. Each analyzer turns one of those conventions into a
-// build failure.
+// must be deliberate, advance-pool goroutines must only read frozen
+// tick-start state, and every package must carry a package comment
+// documenting its role and determinism contract. Each analyzer turns one
+// of those conventions into a build failure.
 //
 // The framework is built directly on go/parser, go/ast, go/types and
 // go/importer so go.mod stays dependency-free. Repo packages are loaded

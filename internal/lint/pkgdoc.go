@@ -1,0 +1,30 @@
+package lint
+
+import "strings"
+
+// pkgDocAnalyzer requires every package to carry a package-level doc
+// comment. The repo's packages document three things there: the
+// package's role, its determinism contract (what must stay
+// bit-reproducible and why), and its lint enrollment (which analyzers
+// watch it). A package without that comment silently opts out of the
+// documentation the contributors' guide points to, so the absence is a
+// build failure like any other invariant violation. Directive-only
+// comments (//mlfs:deterministic, //go:build) do not count as
+// documentation: ast.CommentGroup.Text strips them.
+var pkgDocAnalyzer = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "packages lacking a package-level doc comment",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	// Undocumented: anchor the finding at the first file's package clause
+	// (files are loaded in sorted name order, so the position is stable).
+	f := p.Pkg.Files[0]
+	p.Reportf(f.Package, "package %s has no package comment: document its role, determinism contract and lint enrollment", p.Pkg.Types.Name())
+}

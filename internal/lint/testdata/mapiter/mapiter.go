@@ -9,7 +9,7 @@ import "sort"
 
 type ctx struct{}
 
-func (ctx) Place(id int)   {}
+func (ctx) Place(id int)    {}
 func (ctx) EvictJob(id int) {}
 
 // Place here is a package function, not a scheduling method; calling it

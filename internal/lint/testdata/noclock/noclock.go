@@ -11,8 +11,8 @@ import (
 )
 
 func wallClock() time.Duration {
-	start := time.Now()       // want "time.Now in deterministic package"
-	return time.Since(start)  // want "time.Since in deterministic package"
+	start := time.Now()      // want "time.Now in deterministic package"
+	return time.Since(start) // want "time.Since in deterministic package"
 }
 
 func wallDeadline(t time.Time) time.Duration {

@@ -1,0 +1,4 @@
+package pkgdoc // want "package pkgdoc has no package comment"
+
+// A documented function does not substitute for a package comment.
+func Helper() int { return 1 }

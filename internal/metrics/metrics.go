@@ -2,6 +2,12 @@
 // paper's evaluation reports (Figs. 4–9): average JCT, makespan, waiting
 // time, deadline/accuracy guarantee ratios, average accuracy by deadline,
 // bandwidth cost and scheduler time overhead.
+//
+// Determinism: every function here is a pure summary of its inputs —
+// sorted before any order-sensitive aggregation — so identical runs
+// yield byte-identical Results. The package is not in the lint
+// DeterministicPaths registry (there is nothing stochastic to police);
+// the repo-wide epochguard, floatcmp and pkgdoc checks still apply.
 package metrics
 
 import (
@@ -24,6 +30,14 @@ type Counters struct {
 	SimulatedSec        float64
 	Truncated           int // jobs cut off by the simulation horizon
 	Rejected            int // jobs larger than the whole cluster
+
+	// Fault-injection totals (all zero when FailureConfig is disabled).
+	ServerFailures   int     // servers taken down by the fault process
+	ServerRepairs    int     // servers returned to service
+	FailureEvictions int     // task placements lost to server failures
+	WorkLostIters    float64 // iterations rolled back to the last checkpoint
+	JobRestarts      int     // jobs re-queued after losing tasks to a failure
+	JobsKilled       int     // jobs abandoned after exhausting MaxRetries
 }
 
 // Result is the full outcome of one simulation run.

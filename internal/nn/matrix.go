@@ -3,6 +3,14 @@
 // SGD/Adam optimisers and the REINFORCE policy-gradient utilities MLF-RL
 // needs (§3.4). Go has no ML ecosystem, so the paper's "DNN as the agent"
 // is built here on the standard library alone.
+//
+// Determinism: weight initialisation and sampling use caller-seeded
+// sources only, and the parallel batched engine partitions work so each
+// output element is produced by exactly one worker with a fixed
+// summation order — results are bit-identical for any worker count. The
+// package is enrolled in the lint DeterministicPaths registry (mapiter,
+// noclock, sharedcapture), plus the repo-wide epochguard, floatcmp and
+// pkgdoc checks.
 package nn
 
 import (

@@ -17,6 +17,12 @@
 //
 //	phillyTrace, _ := philly.LoadFile("cluster_job_log", philly.Options{})
 //	res, _ := mlfs.Run(mlfs.Options{Trace: phillyTrace, Preset: mlfs.PaperSim})
+//
+// Determinism: loading is a pure function of the trace file bytes and
+// Options.Seed — fields the trace lacks are sampled from a seeded
+// source, so repeated loads yield identical workloads. The package is
+// not in the lint DeterministicPaths registry; the repo-wide epochguard,
+// floatcmp and pkgdoc checks still apply.
 package philly
 
 import (

@@ -6,6 +6,11 @@
 // The simulator uses predictions to derive deadlines and per-task
 // remaining times, never ground truth, so prediction error propagates into
 // scheduling exactly as it would in the real system.
+//
+// Determinism: prediction noise comes from a single source seeded at
+// construction, so a fixed seed reproduces the same errors in the same
+// order. The package is not in the lint DeterministicPaths registry; the
+// repo-wide epochguard, floatcmp and pkgdoc checks still apply.
 package predictor
 
 import (

@@ -3,6 +3,12 @@
 // priority function (MLF-H recomputes P_{k,J} every round since waiting
 // time and iteration index move, §3.3.1). Ties break on ascending task id
 // so runs are reproducible.
+//
+// Determinism: Pop order is a pure function of the pushed (priority,
+// task id) pairs — no clocks, no randomness, no map iteration. The
+// package is enrolled in the lint DeterministicPaths registry (mapiter,
+// noclock, sharedcapture), plus the repo-wide epochguard, floatcmp and
+// pkgdoc checks.
 package queue
 
 import (

@@ -4,6 +4,12 @@
 // jobs (MLF-C). The simulator builds a Context each scheduling round
 // (every minute, §4.1); the scheduler mutates it; the simulator reads back
 // the action log for metric accounting.
+//
+// Determinism: the Context exposes cluster state only through sorted,
+// index-ordered accessors, so a scheduler that consumes it sequentially
+// is reproducible by construction. The package is enrolled in the lint
+// DeterministicPaths registry (mapiter, noclock, sharedcapture), plus
+// the repo-wide epochguard, floatcmp and pkgdoc checks.
 package sched
 
 import (

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+
+	"mlfs/internal/job"
+)
+
+// FailureConfig enables fault injection: seeded exponential server
+// failure/repair processes, checkpoint/restart recovery and a per-job
+// retry budget. The zero value disables injection entirely — the
+// simulator then behaves bit-identically to a build without this
+// subsystem, and the tick loop stays allocation-free.
+//
+// The config lives outside any scheduler so that every policy in a
+// comparison runs under the identical failure trace: the event sequence
+// is a pure function of (Seed, server count, MTTFSec, MTTRSec).
+type FailureConfig struct {
+	// MTTFSec is the per-server mean time to failure in seconds
+	// (exponential). 0 disables fault injection.
+	MTTFSec float64
+	// MTTRSec is the per-server mean time to repair in seconds
+	// (exponential; default 600 — Philly repairs are minutes-scale).
+	MTTRSec float64
+	// CheckpointEveryIters is K: jobs checkpoint every K completed
+	// iterations, so a failure replays at most K−1 completed iterations
+	// (default 100).
+	CheckpointEveryIters int
+	// MaxRetries is the per-job retry budget: a job hit by more than
+	// MaxRetries failures is Killed (default 3, matching Philly's
+	// typical retry policy).
+	MaxRetries int
+	// RetryBackoffSec is the base restart delay; retry r waits
+	// RetryBackoffSec·2^(r−1) before its tasks re-enter the queue
+	// (default 60 — one scheduling tick).
+	RetryBackoffSec float64
+	// Seed drives the failure/repair processes (default 1).
+	Seed int64
+}
+
+// Enabled reports whether fault injection is on.
+func (f FailureConfig) Enabled() bool { return f.MTTFSec > 0 }
+
+// withDefaults fills the paper-calibrated defaults for enabled configs.
+func (f FailureConfig) withDefaults() FailureConfig {
+	if f.MTTRSec <= 0 {
+		f.MTTRSec = 600
+	}
+	if f.CheckpointEveryIters <= 0 {
+		f.CheckpointEveryIters = 100
+	}
+	if f.MaxRetries <= 0 {
+		f.MaxRetries = 3
+	}
+	if f.RetryBackoffSec <= 0 {
+		f.RetryBackoffSec = 60
+	}
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	return f
+}
+
+// injectFailures applies every failure/repair event due by the current
+// tick start. It runs serially before the scheduling round, so the
+// event order is identical for any AdvanceWorkers count: the parallel
+// phase of advance() only ever sees post-event cluster state.
+func (s *Simulator) injectFailures() {
+	for {
+		srv, down, _, ok := s.faults.Next(s.now)
+		if !ok {
+			return
+		}
+		if !down {
+			s.counters.ServerRepairs++
+			s.cl.RepairServer(srv)
+			continue
+		}
+		s.counters.ServerFailures++
+		evicted := s.cl.FailServer(srv)
+		s.counters.FailureEvictions += len(evicted)
+		// FailServer returns placements in ascending task order, and a
+		// failed job loses all its placements at once, so each affected
+		// job is seen here exactly once per event — dedup by Done/parked
+		// state is unnecessary.
+		for _, p := range evicted {
+			t := s.ctx.TaskByRef(p.Task)
+			if t == nil || t.Job.Done() {
+				continue
+			}
+			s.failJob(t.Job)
+		}
+	}
+}
+
+// failJob is the recovery path for a job that lost at least one task to
+// a server failure: synchronous training cannot proceed without the
+// lost partition, so the whole job rolls back to its last checkpoint,
+// releases every remaining placement, and either retries (after
+// exponential backoff) or is Killed once the retry budget is spent.
+func (s *Simulator) failJob(j *job.Job) {
+	lost := j.Progress - j.CheckpointProgress
+	if lost > 0 {
+		s.counters.WorkLostIters += lost
+		j.Progress = j.CheckpointProgress
+	}
+	// Release surviving placements and pull queued tasks: nothing of
+	// this job may run or be scheduled until the backoff expires.
+	for _, t := range j.Tasks {
+		s.cl.Remove(t.ID.Ref())
+		delete(s.waiting, t.ID)
+	}
+	s.cache[j.SimIndex].valid = false
+	j.Retries++
+	if j.Retries > s.cfg.Failures.MaxRetries {
+		s.counters.JobsKilled++
+		// Like admission rejection, a kill charges the job's full wait:
+		// JCT runs to at least the deadline, so abandoning jobs can only
+		// hurt a scheduler's numbers, never flatter them.
+		s.finishJob(j, math.Max(s.now, j.Deadline), job.Killed)
+		return
+	}
+	s.counters.JobRestarts++
+	backoff := s.cfg.Failures.RetryBackoffSec * math.Pow(2, float64(j.Retries-1))
+	j.NextRetryAt = s.now + backoff
+	s.parked = append(s.parked, j)
+}
+
+// releaseParked re-queues the tasks of parked jobs whose backoff has
+// expired. Parked order is the (deterministic) failure-event order, so
+// re-queue order is reproducible too.
+func (s *Simulator) releaseParked() {
+	if len(s.parked) == 0 {
+		return
+	}
+	keep := s.parked[:0]
+	for _, j := range s.parked {
+		if j.Done() { // killed or truncated while parked
+			continue
+		}
+		if j.NextRetryAt > s.now {
+			keep = append(keep, j)
+			continue
+		}
+		for _, t := range j.Tasks {
+			t.QueuedAt = s.now
+			s.waiting[t.ID] = t
+		}
+	}
+	s.parked = keep
+}
+
+// checkpointJob advances j's durable checkpoint to the last multiple of
+// K at or below its progress. Called from the serial merge phase of
+// advance() only when fault injection is enabled, so the disabled path
+// never touches the field.
+func (s *Simulator) checkpointJob(j *job.Job) {
+	k := float64(s.cfg.Failures.CheckpointEveryIters)
+	ck := math.Floor(j.Progress/k) * k
+	if ck > j.CheckpointProgress {
+		j.CheckpointProgress = ck
+	}
+}

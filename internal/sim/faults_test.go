@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mlfs/internal/job"
+	"mlfs/internal/sched"
+)
+
+// faultCfg is the shared base config for fault tests: a small cluster
+// under an aggressive failure process so every mechanism triggers
+// within a short run.
+func faultCfg(jobs int, seed int64, workers int) Config {
+	return Config{
+		Cluster:        testClusterCfg(),
+		Trace:          smallTrace(jobs, seed),
+		Scheduler:      fifoGang{},
+		AdvanceWorkers: workers,
+		Failures:       FailureConfig{MTTFSec: 2 * 3600, MTTRSec: 600, Seed: 9},
+	}
+}
+
+func TestFailureRunCompletes(t *testing.T) {
+	res := run(t, faultCfg(20, 42, 1))
+	c := res.Counters
+	if c.ServerFailures == 0 {
+		t.Fatal("no server failures injected with MTTF=2h")
+	}
+	if c.ServerRepairs == 0 {
+		t.Fatal("no repairs")
+	}
+	if c.FailureEvictions == 0 || c.JobRestarts == 0 {
+		t.Fatalf("failures never hit a running job: evictions=%d restarts=%d",
+			c.FailureEvictions, c.JobRestarts)
+	}
+	if c.WorkLostIters <= 0 {
+		t.Fatal("restarts lost no work — checkpoint rollback not exercised")
+	}
+	for _, j := range res.JCTs {
+		if j < 0 {
+			t.Fatalf("negative JCT %v", j)
+		}
+	}
+}
+
+// TestFailureDisabledBitIdentical is the zero-config guarantee: a zeroed
+// FailureConfig must reproduce the failure-free run bit for bit.
+func TestFailureDisabledBitIdentical(t *testing.T) {
+	base := Config{Cluster: testClusterCfg(), Trace: smallTrace(15, 7), Scheduler: fifoGang{}}
+	a := run(t, base)
+	withZero := base
+	withZero.Trace = smallTrace(15, 7)
+	withZero.Failures = FailureConfig{} // explicit zero value
+	b := run(t, withZero)
+	a.Counters.SchedSeconds, b.Counters.SchedSeconds = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("zero FailureConfig changed results:\n%v\n%v", a, b)
+	}
+}
+
+// TestFailureDeterminismAcrossWorkers: the failure event sequence and
+// all resulting metrics are identical for serial and parallel advance.
+func TestFailureDeterminismAcrossWorkers(t *testing.T) {
+	a := run(t, faultCfg(25, 3, 1))
+	b := run(t, faultCfg(25, 3, 8))
+	a.Counters.SchedSeconds, b.Counters.SchedSeconds = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault run diverges across AdvanceWorkers:\nserial   %+v\nparallel %+v", a, b)
+	}
+	if a.Counters.ServerFailures == 0 {
+		t.Fatal("determinism test vacuous: no failures occurred")
+	}
+}
+
+// TestCheckpointReplayBound: rolling back to the last checkpoint loses
+// at most K−1 completed iterations plus the in-flight fractional one.
+func TestCheckpointReplayBound(t *testing.T) {
+	s, err := New(faultCfg(10, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.closePool()
+	k := float64(s.cfg.Failures.CheckpointEveryIters)
+	checked := 0
+	for i := 0; i < 5000 && (s.pending < len(s.jobs) || len(s.active) > 0); i++ {
+		s.admitArrivals()
+		s.step(s.cfg.TickSec)
+		for _, j := range s.active {
+			if j.CheckpointProgress > j.Progress {
+				t.Fatalf("checkpoint %v ahead of progress %v", j.CheckpointProgress, j.Progress)
+			}
+			if lost := j.Progress - j.CheckpointProgress; lost >= k+1 {
+				// Progress−Checkpoint < K+1: at most K−1 whole completed
+				// iterations plus the current fractional one are at risk.
+				t.Fatalf("job %d would replay %.2f iters, bound is <%v", j.ID, lost, k+1)
+			}
+			if j.CheckpointProgress != math.Floor(j.CheckpointProgress/k)*k {
+				t.Fatalf("checkpoint %v not a multiple of K=%v", j.CheckpointProgress, k)
+			}
+			if j.Progress > 0 {
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no progressing jobs observed")
+	}
+}
+
+// TestRetryBudgetKills: with a hostile failure process and zero budget
+// headroom, jobs exceed MaxRetries and are Killed — and killed jobs
+// count in the metrics with their achieved state.
+func TestRetryBudgetKills(t *testing.T) {
+	cfg := faultCfg(12, 21, 1)
+	cfg.Failures = FailureConfig{MTTFSec: 900, MTTRSec: 7200, MaxRetries: 1, Seed: 4}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.JobsKilled == 0 {
+		t.Fatal("no kills under MTTF=15min, MaxRetries=1")
+	}
+	killed := 0
+	for _, j := range s.jobs {
+		if j.State == job.Killed {
+			killed++
+			if !j.Done() {
+				t.Fatalf("killed job %d not Done", j.ID)
+			}
+			if j.Retries <= cfg.Failures.MaxRetries {
+				t.Fatalf("job %d killed with %d retries ≤ budget %d", j.ID, j.Retries, cfg.Failures.MaxRetries)
+			}
+		}
+	}
+	if killed != res.Counters.JobsKilled {
+		t.Fatalf("state/counter mismatch: %d Killed jobs, counter %d", killed, res.Counters.JobsKilled)
+	}
+}
+
+// idleSched is a scheduler that never places anything: the extreme
+// counterpoint to fifoGang for proving the failure trace does not
+// depend on placement decisions.
+type idleSched struct{}
+
+func (idleSched) Name() string            { return "idle-test" }
+func (idleSched) Schedule(*sched.Context) {}
+
+// TestFailureTraceSchedulerIndependent: at a fixed simulation horizon,
+// two schedulers with opposite behaviour observe the identical
+// failure/repair event stream — FailureConfig seeds a process that is a
+// pure function of (seed, server count, MTTF, MTTR), untouched by
+// placement.
+func TestFailureTraceSchedulerIndependent(t *testing.T) {
+	mk := func(s sched.Scheduler) Config {
+		c := faultCfg(20, 42, 1)
+		c.Scheduler = s
+		c.MaxSimSec = 3000 // both runs truncate at the same horizon
+		c.Failures.MTTFSec = 1200
+		return c
+	}
+	a := run(t, mk(fifoGang{}))
+	b := run(t, mk(idleSched{}))
+	if a.Counters.Truncated == 0 || b.Counters.Truncated == 0 {
+		t.Fatal("horizon too generous: runs did not truncate, horizons differ")
+	}
+	if a.Counters.ServerFailures != b.Counters.ServerFailures ||
+		a.Counters.ServerRepairs != b.Counters.ServerRepairs {
+		t.Fatalf("failure trace depends on the scheduler: fifo saw %d/%d, idle saw %d/%d",
+			a.Counters.ServerFailures, a.Counters.ServerRepairs,
+			b.Counters.ServerFailures, b.Counters.ServerRepairs)
+	}
+	if a.Counters.ServerFailures == 0 {
+		t.Fatal("vacuous: no failures within the horizon")
+	}
+}
+
+// TestBackoffParksJobs: after a failure a job waits out its exponential
+// backoff — its tasks are neither placed nor queued until NextRetryAt.
+func TestBackoffParksJobs(t *testing.T) {
+	cfg := faultCfg(10, 17, 1)
+	cfg.Failures.RetryBackoffSec = 10 * cfg.TickSec
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.closePool()
+	sawParked := false
+	for i := 0; i < 5000 && (s.pending < len(s.jobs) || len(s.active) > 0); i++ {
+		s.admitArrivals()
+		s.step(s.cfg.TickSec)
+		for _, j := range s.parked {
+			sawParked = true
+			// releaseParked runs at tick start; s.now has already advanced
+			// past it here, so a parked job's retry time must lie beyond
+			// the start of the tick just executed.
+			if j.NextRetryAt <= s.now-s.cfg.TickSec {
+				t.Fatalf("job %d still parked past NextRetryAt=%v at t=%v", j.ID, j.NextRetryAt, s.now)
+			}
+			for _, tk := range j.Tasks {
+				if s.cl.Lookup(tk.ID.Ref()) != nil {
+					t.Fatalf("parked job %d has task %d placed", j.ID, tk.ID)
+				}
+				if _, ok := s.waiting[tk.ID]; ok {
+					t.Fatalf("parked job %d has task %d in the waiting queue", j.ID, tk.ID)
+				}
+			}
+		}
+	}
+	if !sawParked {
+		t.Skip("failure trace never parked a job in this configuration")
+	}
+}

@@ -16,6 +16,15 @@
 // state reused across ticks, and the per-job cost computation inside a
 // tick runs on a worker pool. Results are bit-identical for any worker
 // count, including 1.
+//
+// Fault injection (faults.go) is strictly opt-in: with the zero
+// FailureConfig the simulator is bit-identical to a build without the
+// subsystem, and when enabled all failure events are applied serially at
+// tick start so the parallel-advance guarantee is untouched. The package
+// is enrolled in the lint DeterministicPaths registry (mapiter, noclock,
+// sharedcapture), plus the repo-wide epochguard, floatcmp and pkgdoc
+// checks; the single deliberate wall-clock read (scheduler-overhead
+// telemetry) carries an //mlfs:allow suppression.
 package sim
 
 import (
@@ -76,6 +85,11 @@ type Config struct {
 	// finishes first. The slowdown then shrinks to a small residual and
 	// every incident pays one task-state transfer in bandwidth.
 	ReplicateStragglers bool
+
+	// Failures configures server fault injection and checkpoint/restart
+	// recovery (see FailureConfig). The zero value disables it and keeps
+	// the simulation bit-identical to a failure-free build.
+	Failures FailureConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StragglerSlow <= 1 {
 		c.StragglerSlow = 3
+	}
+	if c.Failures.Enabled() {
+		c.Failures = c.Failures.withDefaults()
 	}
 	return c
 }
@@ -187,6 +204,13 @@ type Simulator struct {
 	recentSpare     []*job.Job
 	lastBWMark      float64
 
+	// Fault injection (nil / unused when Config.Failures is zero).
+	// faults yields the deterministic failure/repair event stream;
+	// parked holds jobs sitting out their retry backoff, in
+	// failure-event order.
+	faults *cluster.FaultProcess
+	parked []*job.Job
+
 	// Hot-path state: one scheduling context reused for the whole run,
 	// per-job iteration-cost caches invalidated by server load epochs,
 	// scratch buffers recycled across ticks, and the advance worker pool.
@@ -233,6 +257,10 @@ func New(cfg Config) (*Simulator, error) {
 	// One context serves every round; its task index covers all jobs of
 	// the run up front, and Reset re-primes the rest per tick.
 	s.ctx = sched.NewContext(0, cl, jobs, nil, cfg.HR, cfg.HS)
+	if cfg.Failures.Enabled() {
+		f := cfg.Failures
+		s.faults = cluster.NewFaultProcess(cl.NumServers(), f.MTTFSec, f.MTTRSec, f.Seed)
+	}
 	return s, nil
 }
 
@@ -268,10 +296,23 @@ func (s *Simulator) Run() (*metrics.Result, error) {
 	return metrics.Compute(s.sched.Name(), s.jobs, s.counters), nil
 }
 
-// step executes one scheduler tick: demand wobble, a scheduling round,
-// job advancement and overload accounting. It is the steady-state hot
-// path and performs no heap allocations of its own.
+// step executes one scheduler tick: failure/repair events, then demand
+// wobble, a scheduling round, job advancement and overload accounting.
+// It is the steady-state hot path and performs no heap allocations of
+// its own when fault injection is disabled. Failure events are applied
+// serially at tick start — before the parallel advance phase ever runs
+// — so the event order and its effects are identical for every
+// AdvanceWorkers count.
 func (s *Simulator) step(dt float64) {
+	if s.faults != nil {
+		killed := s.counters.JobsKilled
+		s.injectFailures()
+		if s.counters.JobsKilled != killed {
+			// Killed jobs leave the active set before the scheduler runs.
+			s.pruneActive()
+		}
+		s.releaseParked()
+	}
 	s.wobbleDemands()
 	s.runScheduler()
 	s.advance(dt)
@@ -587,6 +628,9 @@ func (s *Simulator) advance(dt float64) {
 			s.counters.BandwidthMB += crossMB * delta
 		}
 		s.observe(j, old)
+		if s.faults != nil {
+			s.checkpointJob(j)
+		}
 		s.snapDeadline(j, dt, delta)
 		if finished {
 			finishAt := s.now + (delta * iterSec)

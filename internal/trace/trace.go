@@ -9,6 +9,12 @@
 // scheduler consumes only (arrival time, GPUs requested, accuracy target,
 // iteration budget), all of which this generator reproduces
 // distributionally and deterministically under a fixed seed.
+//
+// Determinism: generation draws every sample from one rand.Rand seeded
+// by GenConfig.Seed in a fixed order, and CSV round-trips preserve
+// workloads exactly. The package is not in the lint DeterministicPaths
+// registry; the repo-wide epochguard, floatcmp and pkgdoc checks still
+// apply.
 package trace
 
 import (

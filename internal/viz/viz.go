@@ -1,6 +1,11 @@
 // Package viz renders figure series as ASCII line charts so experiment
 // results are inspectable straight from the terminal, with no plotting
 // dependencies.
+//
+// Determinism: rendering is a pure function of the series passed in, so
+// chart output is byte-stable across runs. The package is not in the
+// lint DeterministicPaths registry; the repo-wide epochguard, floatcmp
+// and pkgdoc checks still apply.
 package viz
 
 import (

@@ -68,7 +68,18 @@ type Options struct {
 	// compute per-job iteration costs within a tick (0 = GOMAXPROCS,
 	// 1 = fully serial). Results are bit-identical for every setting.
 	AdvanceWorkers int
+
+	// Failures configures server fault injection with checkpoint/restart
+	// recovery (see FailureConfig). The zero value disables it. The
+	// failure trace depends only on Failures.Seed and the cluster size,
+	// so every scheduler in a comparison faces identical failures.
+	Failures FailureConfig
 }
+
+// FailureConfig configures fault injection: seeded MTTF/MTTR server
+// failure processes, checkpointing every K iterations, and per-job
+// retry budgets (alias of the simulator's config; see internal/sim).
+type FailureConfig = sim.FailureConfig
 
 func (o Options) clusterConfig() cluster.Config {
 	if o.Servers > 0 && o.GPUsPerServer > 0 {
@@ -180,6 +191,7 @@ func Run(opts Options) (*Result, error) {
 		StragglerSlow:       opts.StragglerSlow,
 		ReplicateStragglers: opts.ReplicateStragglers,
 		AdvanceWorkers:      opts.AdvanceWorkers,
+		Failures:            opts.Failures,
 	})
 	if err != nil {
 		return nil, err
