@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 
+	"mlfs/internal/cluster"
 	"mlfs/internal/job"
 )
 
@@ -15,26 +16,37 @@ import (
 // The config lives outside any scheduler so that every policy in a
 // comparison runs under the identical failure trace: the event sequence
 // is a pure function of (Seed, server count, MTTFSec, MTTRSec).
+//
+// Zero-value convention: in an enabled config (MTTFSec > 0) every other
+// field treats its zero value as "use the documented default", so a
+// partially filled struct always yields a sane failure model. MaxRetries
+// uses a negative sentinel to express "no retries" (see its comment);
+// the other defaults have no meaningful zero to preserve.
 type FailureConfig struct {
 	// MTTFSec is the per-server mean time to failure in seconds
 	// (exponential). 0 disables fault injection.
 	MTTFSec float64
 	// MTTRSec is the per-server mean time to repair in seconds
-	// (exponential; default 600 — Philly repairs are minutes-scale).
+	// (exponential). ≤0 means the default of 600 — Philly repairs are
+	// minutes-scale.
 	MTTRSec float64
 	// CheckpointEveryIters is K: jobs checkpoint every K completed
-	// iterations, so a failure replays at most K−1 completed iterations
-	// (default 100).
+	// iterations, so a failure replays at most K−1 completed iterations.
+	// ≤0 means the default of 100.
 	CheckpointEveryIters int
 	// MaxRetries is the per-job retry budget: a job hit by more than
-	// MaxRetries failures is Killed (default 3, matching Philly's
-	// typical retry policy).
+	// MaxRetries failures is Killed. 0 means the default of 3 (Philly's
+	// typical retry policy); any negative value means a budget of zero —
+	// the first failure kills the job.
 	MaxRetries int
 	// RetryBackoffSec is the base restart delay; retry r waits
-	// RetryBackoffSec·2^(r−1) before its tasks re-enter the queue
-	// (default 60 — one scheduling tick).
+	// RetryBackoffSec·2^(r−1) before its tasks re-enter the queue.
+	// ≤0 means the default of 60 — one scheduling tick. The resolved
+	// value is always positive; failJob and handleEvictions rely on that
+	// (NextRetryAt strictly exceeds the failure time).
 	RetryBackoffSec float64
-	// Seed drives the failure/repair processes (default 1).
+	// Seed drives the failure/repair processes. 0 means the default seed
+	// of 1; pick any other value for an independent failure trace.
 	Seed int64
 }
 
@@ -49,8 +61,11 @@ func (f FailureConfig) withDefaults() FailureConfig {
 	if f.CheckpointEveryIters <= 0 {
 		f.CheckpointEveryIters = 100
 	}
-	if f.MaxRetries <= 0 {
+	switch {
+	case f.MaxRetries == 0:
 		f.MaxRetries = 3
+	case f.MaxRetries < 0: // sentinel: kill on the first failure
+		f.MaxRetries = 0
 	}
 	if f.RetryBackoffSec <= 0 {
 		f.RetryBackoffSec = 60
@@ -79,17 +94,29 @@ func (s *Simulator) injectFailures() {
 		s.counters.ServerFailures++
 		evicted := s.cl.FailServer(srv)
 		s.counters.FailureEvictions += len(evicted)
-		// FailServer returns placements in ascending task order, and a
-		// failed job loses all its placements at once, so each affected
-		// job is seen here exactly once per event — dedup by Done/parked
-		// state is unnecessary.
-		for _, p := range evicted {
-			t := s.ctx.TaskByRef(p.Task)
-			if t == nil || t.Job.Done() {
-				continue
-			}
-			s.failJob(t.Job)
+		s.handleEvictions(evicted)
+	}
+}
+
+// handleEvictions routes each job hit by one failure event through
+// failJob exactly once. FailServer returns one placement per evicted
+// task, and evicted is a pre-eviction snapshot, so a job with several
+// tasks co-located on the failed server appears several times here —
+// without dedup it would be charged multiple retries (and multiplied
+// backoff, and duplicate parking) for a single failure. The first
+// failJob call either kills the job (Done) or parks it with
+// NextRetryAt = now + backoff > now; nothing else ever sets NextRetryAt
+// above the current time (released jobs carry a stale NextRetryAt ≤
+// now, and still-parked jobs hold no placements so they cannot be
+// evicted), so NextRetryAt > now marks exactly the jobs already failed
+// at this instant.
+func (s *Simulator) handleEvictions(evicted []*cluster.Placement) {
+	for _, p := range evicted {
+		t := s.ctx.TaskByRef(p.Task)
+		if t == nil || t.Job.Done() || t.Job.NextRetryAt > s.now {
+			continue
 		}
+		s.failJob(t.Job)
 	}
 }
 

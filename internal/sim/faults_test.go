@@ -7,6 +7,7 @@ import (
 
 	"mlfs/internal/job"
 	"mlfs/internal/sched"
+	"mlfs/internal/trace"
 )
 
 // faultCfg is the shared base config for fault tests: a small cluster
@@ -140,6 +141,103 @@ func TestRetryBudgetKills(t *testing.T) {
 	}
 	if killed != res.Counters.JobsKilled {
 		t.Fatalf("state/counter mismatch: %d Killed jobs, counter %d", killed, res.Counters.JobsKilled)
+	}
+}
+
+// coLocatedSim builds a simulator with fault injection enabled but an
+// MTTF far beyond any horizon (the only failures are the ones a test
+// injects by hand), and packs every task of its single multi-task job
+// onto server 0.
+func coLocatedSim(t *testing.T, failures FailureConfig) (*Simulator, *job.Job) {
+	t.Helper()
+	tr := &trace.Trace{DurationSec: 100}
+	tr.Records = append(tr.Records, trace.Record{
+		JobID: 1, ArrivalSec: 0, GPUs: 4, Family: 2, /* MLP */
+		Comm: job.AllReduce, Urgency: 1, TargetFrac: 0.8, TrainDataMB: 500,
+		CommVolPS: 60, CommVolWW: 60, DeadlineSlackSec: 24 * 3600, Seed: 7,
+	})
+	s, err := New(Config{Cluster: testClusterCfg(), Trace: tr, Scheduler: fifoGang{},
+		Failures: failures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs[0]
+	if len(j.Tasks) < 2 || len(j.Tasks) > 4 {
+		t.Fatalf("setup: want 2–4 tasks to co-locate on one server, got %d", len(j.Tasks))
+	}
+	for i, tk := range j.Tasks {
+		if err := s.cl.Place(tk.ID.Ref(), 0, i, tk.Demand, tk.GPUShare); err != nil {
+			t.Fatalf("setup: placing task %d on server 0: %v", tk.ID, err)
+		}
+	}
+	return s, j
+}
+
+// TestCoLocatedFailureSingleRetry: FailServer returns one placement per
+// evicted task, but one failure event must charge an affected job
+// exactly one retry — not one per placement, which would multiply the
+// backoff 2^(n−1)-fold, park the job n times and kill a 4-task job on
+// its first failure under the default budget of 3. Regression test for
+// the per-event job dedup in handleEvictions.
+func TestCoLocatedFailureSingleRetry(t *testing.T) {
+	s, j := coLocatedSim(t, FailureConfig{MTTFSec: 1e12, Seed: 1})
+	evicted := s.cl.FailServer(0)
+	if len(evicted) != len(j.Tasks) {
+		t.Fatalf("setup: want %d co-located evictions, got %d", len(j.Tasks), len(evicted))
+	}
+	s.handleEvictions(evicted)
+	if j.Retries != 1 {
+		t.Fatalf("one failure event charged %d retries", j.Retries)
+	}
+	if s.counters.JobRestarts != 1 {
+		t.Fatalf("JobRestarts = %d after one failure event", s.counters.JobRestarts)
+	}
+	if s.counters.JobsKilled != 0 {
+		t.Fatalf("job killed by a single failure (budget %d)", s.cfg.Failures.MaxRetries)
+	}
+	if len(s.parked) != 1 {
+		t.Fatalf("job parked %d times", len(s.parked))
+	}
+	// Retry 1 waits exactly RetryBackoffSec·2^0: a compounded backoff
+	// would land further out.
+	if want := s.now + s.cfg.Failures.RetryBackoffSec; j.NextRetryAt != want {
+		t.Fatalf("backoff compounded: NextRetryAt = %v, want %v", j.NextRetryAt, want)
+	}
+}
+
+// TestKillOnFirstFailureSentinel: MaxRetries < 0 resolves to a zero
+// retry budget, and the kill path is also charged once per event — a
+// multi-task co-located job dies exactly once.
+func TestKillOnFirstFailureSentinel(t *testing.T) {
+	s, j := coLocatedSim(t, FailureConfig{MTTFSec: 1e12, MaxRetries: -1, Seed: 1})
+	if s.cfg.Failures.MaxRetries != 0 {
+		t.Fatalf("MaxRetries sentinel -1 resolved to %d, want 0", s.cfg.Failures.MaxRetries)
+	}
+	s.handleEvictions(s.cl.FailServer(0))
+	if j.State != job.Killed {
+		t.Fatalf("job state %v, want Killed on first failure with zero budget", j.State)
+	}
+	if s.counters.JobsKilled != 1 {
+		t.Fatalf("JobsKilled = %d for one failure event", s.counters.JobsKilled)
+	}
+	if j.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", j.Retries)
+	}
+}
+
+// TestFailureConfigDefaults pins the zero-means-default convention and
+// the MaxRetries sentinel mapping.
+func TestFailureConfigDefaults(t *testing.T) {
+	d := FailureConfig{MTTFSec: 1}.withDefaults()
+	if d.MTTRSec != 600 || d.CheckpointEveryIters != 100 || d.MaxRetries != 3 ||
+		d.RetryBackoffSec != 60 || d.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	if got := (FailureConfig{MTTFSec: 1, MaxRetries: -1}).withDefaults().MaxRetries; got != 0 {
+		t.Fatalf("MaxRetries -1 → %d, want 0 (kill on first failure)", got)
+	}
+	if got := (FailureConfig{MTTFSec: 1, MaxRetries: 2}).withDefaults().MaxRetries; got != 2 {
+		t.Fatalf("explicit MaxRetries 2 overridden to %d", got)
 	}
 }
 
