@@ -1,9 +1,10 @@
 # Developer entry points. `make ci` is the gate every change must pass:
 # vet, the invariant linters, the package-comment check, the full test
-# suite, focused race passes over the NN engine + MLF-RL and over the
-# fault-injection paths (sim + cluster), and the test suite again under
-# the race detector (the simulator fans per-tick work out over a
-# goroutine pool, so races are a first-class failure mode here).
+# suite, focused race passes over the NN engine + MLF-RL, over the
+# fault-injection paths (sim + cluster) and over the snapshot/resume
+# crash–replay harness, and the test suite again under the race
+# detector (the simulator fans per-tick work out over a goroutine
+# pool, so races are a first-class failure mode here).
 # `make lint` runs cmd/mlfs-lint, the in-repo analyzer suite that
 # mechanically enforces the determinism and epoch-cache invariants of
 # DESIGN.md §8 (add `-json` by hand for machine-readable output);
@@ -11,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint docs race race-nn race-fault ci bench nnbench simbench faultbench
+.PHONY: all build test vet lint docs race race-nn race-fault resume ci bench nnbench simbench faultbench
 
 all: build
 
@@ -47,7 +48,13 @@ race-nn:
 race-fault:
 	$(GO) test -race ./internal/sim/ ./internal/cluster/
 
-ci: vet lint docs test race-nn race-fault race
+# Crash–replay pass: the snapshot codec/file-format tests plus the chaos
+# harness (kill at random seeded ticks, resume from the latest snapshot,
+# require bit-identical results) under the race detector on a small trace.
+resume:
+	$(GO) test -race ./internal/snapshot/... ./cmd/mlfs-sim/
+
+ci: vet lint docs test race-nn race-fault resume race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation

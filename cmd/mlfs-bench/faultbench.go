@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -46,13 +48,34 @@ type faultBenchReport struct {
 	Entries     []faultBenchEntry `json:"entries"`
 }
 
+// faultBenchConfig parameterises the MTTF degradation sweep.
+type faultBenchConfig struct {
+	Path  string // BENCH_fault.json destination
+	Seed  int64
+	Jobs  int
+	MTTFs []float64 // sweep values; 0 = failure-free baseline
+	// SnapshotEvery > 0 writes a per-cell snapshot into SnapshotDir every
+	// N ticks; Resume continues interrupted cells from those snapshots
+	// (bit-identical to uninterrupted runs), restarting from zero — with
+	// a warning — when a snapshot is missing or corrupt.
+	SnapshotEvery int
+	SnapshotDir   string
+	Resume        bool
+}
+
 // runFaultBench sweeps JCT degradation versus MTTF for every scheduler
 // under the identical workload and identical failure traces, and writes
 // BENCH_fault.json. Every cell of a given MTTF column faces the same
 // failure event sequence (the fault process is seeded independently of
 // the policy), so differences are pure scheduling quality under churn.
-func runFaultBench(path string, seed int64, jobs int) error {
+func runFaultBench(cfg faultBenchConfig) error {
 	const mttrSec = 600
+	seed, jobs := cfg.Seed, cfg.Jobs
+	if cfg.SnapshotEvery > 0 {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return err
+		}
+	}
 	report := faultBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
@@ -64,7 +87,7 @@ func runFaultBench(path string, seed int64, jobs int) error {
 	tr := mlfs.GenerateTrace(jobs, seed, mlfs.DefaultTraceDuration(jobs))
 	baseJCT := make(map[string]float64)
 	for _, schedName := range faultBenchSchedulers {
-		for _, mttf := range faultBenchMTTFs {
+		for _, mttf := range cfg.MTTFs {
 			opts := mlfs.Options{
 				Scheduler: schedName,
 				Seed:      seed,
@@ -75,8 +98,13 @@ func runFaultBench(path string, seed int64, jobs int) error {
 			if mttf > 0 {
 				opts.Failures = mlfs.FailureConfig{MTTFSec: mttf, MTTRSec: mttrSec, Seed: seed}
 			}
+			snapPath := filepath.Join(cfg.SnapshotDir, fmt.Sprintf("%s-mttf%.0f.snap", schedName, mttf))
+			if cfg.SnapshotEvery > 0 {
+				opts.SnapshotEvery = cfg.SnapshotEvery
+				opts.SnapshotPath = snapPath
+			}
 			start := time.Now()
-			res, err := mlfs.Run(opts)
+			res, err := faultBenchCell(opts, snapPath, cfg.Resume)
 			if err != nil {
 				return err
 			}
@@ -103,7 +131,7 @@ func runFaultBench(path string, seed int64, jobs int) error {
 				entry.ServerFailures, entry.WorkLostIters, entry.JobRestarts, entry.JobsKilled)
 		}
 	}
-	f, err := os.Create(path)
+	f, err := os.Create(cfg.Path)
 	if err != nil {
 		return err
 	}
@@ -116,6 +144,26 @@ func runFaultBench(path string, seed int64, jobs int) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("%-10s -> %s\n", "faultbench", path)
+	fmt.Printf("%-10s -> %s\n", "faultbench", cfg.Path)
 	return nil
+}
+
+// faultBenchCell runs one sweep cell, resuming from its snapshot when
+// asked. Resume is best-effort: a cell whose snapshot is absent,
+// corrupt or from another format version restarts from zero with a
+// warning, keeping the sweep as a whole restartable even when individual
+// snapshots did not survive the interruption.
+func faultBenchCell(opts mlfs.Options, snapPath string, resume bool) (*mlfs.Result, error) {
+	if !resume {
+		return mlfs.Run(opts)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		return mlfs.Run(opts)
+	}
+	res, err := mlfs.Resume(snapPath, opts)
+	if errors.Is(err, mlfs.ErrSnapshotCorrupt) || errors.Is(err, mlfs.ErrSnapshotVersion) {
+		fmt.Fprintf(os.Stderr, "mlfs-bench: warning: snapshot %s unusable (%v); restarting from zero\n", snapPath, err)
+		return mlfs.Run(opts)
+	}
+	return res, err
 }

@@ -62,11 +62,20 @@ func main() {
 			"recorded wall-seconds of the mlf-rl Figure-4 sweep before NN batching (0 to omit the comparison)")
 		faultbench = flag.Bool("faultbench", false, "sweep JCT degradation vs server MTTF and write BENCH_fault.json")
 		faultJobs  = flag.Int("faultbench-jobs", 155, "job count for -faultbench runs")
+		faultMTTFs = flag.String("faultbench-mttfs", "", "override the MTTF sweep: comma-separated seconds (0 = failure-free baseline)")
+		snapEvery  = flag.Int("snapshot-every", 0, "-faultbench: snapshot each run every N ticks into <out>/snapshots (0 disables)")
+		resumeRuns = flag.Bool("resume", false, "-faultbench: continue interrupted runs from <out>/snapshots")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *snapEvery < 0 {
+		fatal(fmt.Errorf("-snapshot-every must be >= 0 (0 disables snapshotting), got %d", *snapEvery))
+	}
+	if (*snapEvery > 0 || *resumeRuns) && !*faultbench {
+		fatal(fmt.Errorf("-snapshot-every and -resume only apply to -faultbench runs"))
 	}
 	if *simbench {
 		if err := runSimBench(filepath.Join(*out, "BENCH_sim.json"), *seed, *benchJob, *benchRep, *baseWall); err != nil {
@@ -81,7 +90,20 @@ func main() {
 		return
 	}
 	if *faultbench {
-		if err := runFaultBench(filepath.Join(*out, "BENCH_fault.json"), *seed, *faultJobs); err != nil {
+		mttfs, err := parseMTTFs(*faultMTTFs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := faultBenchConfig{
+			Path:          filepath.Join(*out, "BENCH_fault.json"),
+			Seed:          *seed,
+			Jobs:          *faultJobs,
+			MTTFs:         mttfs,
+			SnapshotEvery: *snapEvery,
+			SnapshotDir:   filepath.Join(*out, "snapshots"),
+			Resume:        *resumeRuns,
+		}
+		if err := runFaultBench(cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -372,6 +394,26 @@ func runSimBench(path string, seed int64, jobs, reps int, baselineWall float64) 
 	}
 	fmt.Printf("%-10s -> %s\n", "simbench", path)
 	return nil
+}
+
+// parseMTTFs validates the -faultbench-mttfs override; "" keeps the
+// default sweep.
+func parseMTTFs(s string) ([]float64, error) {
+	if s == "" {
+		return faultBenchMTTFs, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -faultbench-mttfs value %q", part)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("-faultbench-mttfs values must be >= 0 (0 = failure-free baseline), got %v", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseMTTFs(t *testing.T) {
+	got, err := parseMTTFs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, faultBenchMTTFs) {
+		t.Fatalf("empty override must keep the default sweep, got %v", got)
+	}
+
+	got, err = parseMTTFs("0, 21600,7200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 21600, 7200}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseMTTFs = %v, want %v", got, want)
+	}
+
+	if _, err := parseMTTFs("abc"); err == nil {
+		t.Fatal("non-numeric MTTF must error")
+	}
+	if _, err := parseMTTFs("3600,-1"); err == nil {
+		t.Fatal("negative MTTF must error")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// faultEntry mirrors one cell of results/BENCH_fault.json as written by
+// mlfs-bench -faultbench: a (scheduler, MTTF) pair with its failure
+// counters and JCT degradation relative to the same scheduler's
+// MTTF=∞ baseline.
+type faultEntry struct {
+	Scheduler        string  `json:"scheduler"`
+	MTTFSec          float64 `json:"mttf_sec"`
+	AvgJCTMin        float64 `json:"avg_jct_min"`
+	DegradationPct   float64 `json:"jct_degradation_pct"`
+	DeadlineRatio    float64 `json:"deadline_ratio"`
+	ServerFailures   int     `json:"server_failures"`
+	FailureEvictions int     `json:"failure_evictions"`
+	WorkLostIters    float64 `json:"work_lost_iters"`
+	JobRestarts      int     `json:"job_restarts"`
+	JobsKilled       int     `json:"jobs_killed"`
+}
+
+// faultFile is the envelope of BENCH_fault.json.
+type faultFile struct {
+	Jobs        int          `json:"jobs"`
+	MTTRSec     float64      `json:"mttr_sec"`
+	FailureSeed int64        `json:"failure_seed"`
+	Entries     []faultEntry `json:"entries"`
+}
+
+func parseFaultJSON(path string) (*faultFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff faultFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(ff.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no entries", path)
+	}
+	return &ff, nil
+}
+
+// mttfLabel renders an MTTF in hours, with 0 meaning "no failures".
+func mttfLabel(sec float64) string {
+	if sec <= 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%gh", sec/3600)
+}
+
+// faultTable renders the fault benchmark as one Markdown table: a row
+// per (scheduler, MTTF) cell, surfacing the failure counters and the
+// JCT degradation against that scheduler's failure-free baseline.
+func faultTable(ff *faultFile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### fault — JCT degradation and failure counters under server faults (%d jobs, MTTR %g min, failure seed %d)\n\n",
+		ff.Jobs, ff.MTTRSec/60, ff.FailureSeed)
+	sb.WriteString("| scheduler | MTTF | avg JCT (min) | ΔJCT vs ∞ | deadline ratio | server failures | evictions | restarts | jobs killed | work lost (iters) |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, e := range ff.Entries {
+		fmt.Fprintf(&sb, "| %s | %s | %.4g | %+.1f%% | %.4g | %d | %d | %d | %d | %.4g |\n",
+			e.Scheduler, mttfLabel(e.MTTFSec), e.AvgJCTMin, e.DegradationPct, e.DeadlineRatio,
+			e.ServerFailures, e.FailureEvictions, e.JobRestarts, e.JobsKilled, e.WorkLostIters)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

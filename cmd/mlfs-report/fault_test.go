@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFaultJSONAndTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_fault.json")
+	content := `{
+		"jobs": 155, "mttr_sec": 600, "failure_seed": 1,
+		"entries": [
+			{"scheduler": "mlfs", "mttf_sec": 0, "avg_jct_min": 101.5,
+			 "jct_degradation_pct": 0, "deadline_ratio": 0.98,
+			 "server_failures": 0, "failure_evictions": 0,
+			 "work_lost_iters": 0, "job_restarts": 0, "jobs_killed": 0},
+			{"scheduler": "mlfs", "mttf_sec": 21600, "avg_jct_min": 112.25,
+			 "jct_degradation_pct": 10.1, "deadline_ratio": 0.96,
+			 "server_failures": 32, "failure_evictions": 137,
+			 "work_lost_iters": 3105.5, "job_restarts": 75, "jobs_killed": 3}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := parseFaultJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ff.Entries) != 2 || ff.Entries[1].ServerFailures != 32 {
+		t.Fatalf("parsed %+v", ff)
+	}
+	md := faultTable(ff)
+	for _, want := range []string{
+		"155 jobs, MTTR 10 min, failure seed 1",
+		"| mlfs | ∞ | 101.5 | +0.0% |",
+		"| mlfs | 6h | 112.2 | +10.1% | 0.96 | 32 | 137 | 75 | 3 | 3106 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("fault table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestParseFaultJSONErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.json": "{not json",
+		"empty.json":   `{"jobs": 1, "entries": []}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFaultJSON(p); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := parseFaultJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

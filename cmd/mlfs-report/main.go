@@ -102,8 +102,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(paths) == 0 {
-		fatal(fmt.Errorf("no TSV files in %s", *in))
+	faultPath := filepath.Join(*in, "BENCH_fault.json")
+	if _, err := os.Stat(faultPath); err != nil {
+		faultPath = ""
+	}
+	if len(paths) == 0 && faultPath == "" {
+		fatal(fmt.Errorf("no TSV files or BENCH_fault.json in %s", *in))
 	}
 	sort.Strings(paths)
 	var filter map[string]bool
@@ -127,6 +131,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(table(fig))
+	}
+	// The fault benchmark ships as JSON, not TSV: render its failure
+	// counters last, under the figure id "fault".
+	if faultPath != "" && (filter == nil || filter["fault"]) {
+		ff, err := parseFaultJSON(faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(faultTable(ff))
 	}
 }
 

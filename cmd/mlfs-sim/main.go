@@ -1,15 +1,20 @@
 // Command mlfs-sim runs trace-driven scheduling simulations: a single
 // run (-scheduler) or a head-to-head comparison of several schedulers
-// (-compare), on either of the paper's cluster scales.
+// (-compare), on either of the paper's cluster scales. Long runs can
+// write periodic crash-consistent snapshots (-snapshot-every) and be
+// continued bit-identically after an interruption (-resume).
 //
 // Examples:
 //
 //	mlfs-sim -scheduler mlfs -jobs 620
 //	mlfs-sim -compare mlfs,mlf-h,tiresias -jobs 620
 //	mlfs-sim -compare all -jobs 155,310,620 -preset paper-real
+//	mlfs-sim -scheduler mlfs -jobs 620 -mttf 21600 -snapshot-every 500 -snapshot run.snap
+//	mlfs-sim -scheduler mlfs -jobs 620 -mttf 21600 -resume run.snap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +38,15 @@ func main() {
 		list      = flag.Bool("list", false, "list scheduler names and exit")
 		sweepP    = flag.String("sweep", "", "sweep one MLF-H parameter (alpha|gamma|gamma_d|gamma_r|gamma_w|ps|hr|hs)")
 		sweepV    = flag.String("values", "", "comma-separated sweep values")
+		workers   = flag.Int("workers", 0, "job-advancement goroutines (0 = GOMAXPROCS; results identical for any value)")
+
+		mttf     = flag.Float64("mttf", 0, "mean time to server failure in seconds (0 disables fault injection)")
+		mttr     = flag.Float64("mttr", 600, "mean time to server repair in seconds")
+		failSeed = flag.Int64("failure-seed", 0, "failure-trace seed (default: -seed)")
+
+		snapEvery = flag.Int("snapshot-every", 0, "write a snapshot every N ticks (0 disables; requires -snapshot)")
+		snapPath  = flag.String("snapshot", "", "snapshot file path")
+		resume    = flag.String("resume", "", "continue a run from this snapshot file")
 	)
 	flag.Parse()
 
@@ -52,6 +66,7 @@ func main() {
 		SchedOpts: mlfs.SchedulerOptions{Seed: *seed},
 		Preset:    mlfs.ClusterPreset(*preset),
 		Servers:   *servers, GPUsPerServer: *gpus,
+		AdvanceWorkers: *workers,
 	}
 	if *traceCSV != "" {
 		tr, err := mlfs.LoadTraceCSV(*traceCSV)
@@ -61,7 +76,27 @@ func main() {
 		base.Trace = tr
 	}
 
+	if err := validateFaultFlags(*mttf, *mttr); err != nil {
+		fatal(err)
+	}
+	if *mttf > 0 {
+		fs := *failSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		base.Failures = mlfs.FailureConfig{MTTFSec: *mttf, MTTRSec: *mttr, Seed: fs}
+	}
+
+	if err := validateSnapshotFlags(*snapEvery, *snapPath, *resume); err != nil {
+		fatal(err)
+	}
+	base.SnapshotEvery = *snapEvery
+	base.SnapshotPath = *snapPath
+
 	if *sweepP != "" {
+		if *resume != "" {
+			fatal(fmt.Errorf("-resume applies to a single -scheduler run, not -sweep"))
+		}
 		runSweep(base, *sweepP, *sweepV, jobCounts[0])
 		return
 	}
@@ -78,6 +113,18 @@ func main() {
 		fatal(fmt.Errorf("need -scheduler or -compare (try -list)"))
 	}
 
+	if *resume != "" {
+		if *compare != "" {
+			fatal(fmt.Errorf("-resume applies to a single -scheduler run, not -compare"))
+		}
+		if len(jobCounts) != 1 {
+			fatal(fmt.Errorf("-resume applies to a single job count, got %d", len(jobCounts)))
+		}
+		if _, err := os.Stat(*resume); err != nil {
+			fatal(fmt.Errorf("-resume: %w", err))
+		}
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheduler\tjobs\tavgJCT(min)\tmakespan(h)\twait(min)\tddl-ratio\tacc\tacc-ratio\tbw(GB)\tsched(ms)\tmigr\ttrunc")
 	for _, jc := range jobCounts {
@@ -88,7 +135,7 @@ func main() {
 			// Run generates the workload deterministically from (jobs,
 			// seed, cluster), so every scheduler at the same job count
 			// sees an identical trace.
-			res, err := mlfs.Run(opts)
+			res, err := runOrResume(opts, *resume)
 			if err != nil {
 				fatal(err)
 			}
@@ -100,6 +147,49 @@ func main() {
 		}
 	}
 	w.Flush()
+}
+
+// validateFaultFlags rejects fault-injection flag combinations with a
+// clear message instead of letting them surface as config errors later.
+func validateFaultFlags(mttf, mttr float64) error {
+	if mttf < 0 {
+		return fmt.Errorf("-mttf must be >= 0 (0 disables fault injection), got %v", mttf)
+	}
+	if mttf > 0 && mttr <= 0 {
+		return fmt.Errorf("-mttr must be > 0 when -mttf is set, got %v", mttr)
+	}
+	return nil
+}
+
+// validateSnapshotFlags rejects snapshot flag combinations that would
+// silently do nothing or have nowhere to write.
+func validateSnapshotFlags(every int, path, resume string) error {
+	switch {
+	case every < 0:
+		return fmt.Errorf("-snapshot-every must be >= 0 (0 disables snapshotting), got %d", every)
+	case every > 0 && path == "":
+		return fmt.Errorf("-snapshot-every %d needs -snapshot <path> to write to", every)
+	case every == 0 && path != "" && resume == "":
+		return fmt.Errorf("-snapshot %q has no effect without -snapshot-every N", path)
+	}
+	return nil
+}
+
+// runOrResume continues from a snapshot when one is given, degrading to
+// a fresh run — with a warning, never a crash — when the snapshot file
+// is corrupt or from an incompatible format version. A snapshot of a
+// different run configuration stays fatal: silently computing something
+// other than what was asked for would be worse than stopping.
+func runOrResume(opts mlfs.Options, resumePath string) (*mlfs.Result, error) {
+	if resumePath == "" {
+		return mlfs.Run(opts)
+	}
+	res, err := mlfs.Resume(resumePath, opts)
+	if errors.Is(err, mlfs.ErrSnapshotCorrupt) || errors.Is(err, mlfs.ErrSnapshotVersion) {
+		fmt.Fprintf(os.Stderr, "mlfs-sim: warning: snapshot %s unusable (%v); restarting from zero\n", resumePath, err)
+		return mlfs.Run(opts)
+	}
+	return res, err
 }
 
 // runSweep executes the parameter sensitivity sweep and prints one row

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mlfs"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("155, 310,620")
@@ -15,5 +22,74 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := parseInts(""); err == nil {
 		t.Fatal("empty input must error")
+	}
+}
+
+func TestValidateFaultFlags(t *testing.T) {
+	if err := validateFaultFlags(0, 600); err != nil {
+		t.Fatalf("defaults must pass: %v", err)
+	}
+	if err := validateFaultFlags(21600, 600); err != nil {
+		t.Fatalf("valid faults must pass: %v", err)
+	}
+	if err := validateFaultFlags(-1, 600); err == nil {
+		t.Fatal("negative -mttf must error")
+	}
+	if err := validateFaultFlags(21600, 0); err == nil {
+		t.Fatal("-mttf without positive -mttr must error")
+	}
+}
+
+func TestValidateSnapshotFlags(t *testing.T) {
+	for _, ok := range []struct {
+		every        int
+		path, resume string
+	}{
+		{0, "", ""},                 // snapshotting off
+		{500, "run.snap", ""},       // periodic snapshots
+		{0, "", "run.snap"},         // resume only
+		{500, "a.snap", "b.snap"},   // resume and keep snapshotting
+		{0, "run.snap", "run.snap"}, // resume names the file via -snapshot too
+	} {
+		if err := validateSnapshotFlags(ok.every, ok.path, ok.resume); err != nil {
+			t.Fatalf("%+v must pass: %v", ok, err)
+		}
+	}
+	if err := validateSnapshotFlags(-1, "run.snap", ""); err == nil {
+		t.Fatal("negative -snapshot-every must error")
+	}
+	if err := validateSnapshotFlags(5, "", ""); err == nil {
+		t.Fatal("-snapshot-every without -snapshot must error")
+	}
+	if err := validateSnapshotFlags(0, "run.snap", ""); err == nil {
+		t.Fatal("-snapshot without -snapshot-every must error")
+	}
+}
+
+// TestRunOrResumeDegradesOnCorruptSnapshot exercises the CLI's
+// restart-from-zero path: a corrupt snapshot under -resume must warn
+// and fall back to a fresh run whose result matches a plain Run.
+func TestRunOrResumeDegradesOnCorruptSnapshot(t *testing.T) {
+	opts := mlfs.Options{
+		Scheduler: "mlf-h",
+		Jobs:      12, Seed: 1, TraceDurationSec: 900,
+		Servers: 2, GPUsPerServer: 4,
+	}
+	golden, err := mlfs.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("MLFSSNAP garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runOrResume(opts, bad)
+	if err != nil {
+		t.Fatalf("corrupt snapshot must degrade to a fresh run, got %v", err)
+	}
+	res.Counters.SchedSeconds, golden.Counters.SchedSeconds = 0, 0
+	if !reflect.DeepEqual(res, golden) {
+		t.Fatal("degraded run differs from a fresh run")
 	}
 }

@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"mlfs/internal/job"
+	"mlfs/internal/sched"
+)
+
+// FIFO places pending jobs strictly in arrival order (job ids are
+// assigned in submission order) with first-fit server choice and no
+// preemption, migration or overload handling — the textbook batch
+// baseline, and the simplest possible subject for resume bit-identity
+// testing.
+type FIFO struct{}
+
+// NewFIFO returns the FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements sched.Scheduler.
+func (*FIFO) Name() string { return "fifo" }
+
+// Schedule implements sched.Scheduler.
+func (*FIFO) Schedule(ctx *sched.Context) {
+	orderedGangPlace(ctx, func(a, b *job.Job) bool { return a.ID < b.ID }, sched.FirstFit)
+}
+
+// SRTF places pending jobs shortest-remaining-work-first (estimated
+// compute left across the job's critical path), the classic
+// JCT-minimising heuristic, with first-fit server choice and no
+// preemption.
+type SRTF struct{}
+
+// NewSRTF returns the SRTF scheduler.
+func NewSRTF() *SRTF { return &SRTF{} }
+
+// Name implements sched.Scheduler.
+func (*SRTF) Name() string { return "srtf" }
+
+// Schedule implements sched.Scheduler.
+func (*SRTF) Schedule(ctx *sched.Context) {
+	orderedGangPlace(ctx, func(a, b *job.Job) bool {
+		ra, rb := remainingWorkSec(a), remainingWorkSec(b)
+		if ra != rb {
+			return ra < rb
+		}
+		return a.ID < b.ID
+	}, sched.FirstFit)
+}

@@ -1,6 +1,10 @@
 package cluster
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"mlfs/internal/snapshot"
+)
 
 // FaultProcess generates a deterministic stream of server failure and
 // repair events from seeded exponential inter-arrival processes — the
@@ -19,6 +23,11 @@ type FaultProcess struct {
 	mttf float64
 	mttr float64
 	rngs []*rand.Rand
+	// srcs are the draw-counting sources under rngs: they delegate to the
+	// standard math/rand source (identical bit-streams) while recording
+	// the stream position, which is what makes the renewal process
+	// snapshottable (EncodeState/DecodeState).
+	srcs []*snapshot.Source
 	down []bool    // shadow up/down state: true ⇒ next transition is a repair
 	next []float64 // absolute sim-time (seconds) of each server's next transition
 }
@@ -32,14 +41,53 @@ func NewFaultProcess(n int, mttfSec, mttrSec float64, seed int64) *FaultProcess 
 		mttf: mttfSec,
 		mttr: mttrSec,
 		rngs: make([]*rand.Rand, n),
+		srcs: make([]*snapshot.Source, n),
 		down: make([]bool, n),
 		next: make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
-		f.rngs[i] = rand.New(rand.NewSource(master.Int63()))
+		f.srcs[i] = snapshot.NewSource(master.Int63())
+		f.rngs[i] = rand.New(f.srcs[i])
 		f.next[i] = f.rngs[i].ExpFloat64() * mttfSec
 	}
 	return f
+}
+
+// EncodeState serialises the renewal-process state: per server, the RNG
+// stream position plus the pending transition (down flag and time).
+func (f *FaultProcess) EncodeState(w *snapshot.Writer) {
+	w.Int(len(f.next))
+	for i := range f.next {
+		w.Uint64(f.srcs[i].Draws())
+		w.Bool(f.down[i])
+		w.Float64(f.next[i])
+	}
+}
+
+// DecodeState restores a process freshly built by NewFaultProcess with
+// the same (n, mttf, mttr, seed) to the encoded mid-run state: each
+// per-server RNG is replayed to its recorded stream position, and the
+// pending transitions are overwritten with the exact snapshotted values.
+func (f *FaultProcess) DecodeState(r *snapshot.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(f.next) {
+		return snapshot.Mismatchf("fault process has %d servers, snapshot %d", len(f.next), n)
+	}
+	for i := 0; i < n; i++ {
+		draws := r.Uint64()
+		down := r.Bool()
+		next := r.Float64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		f.srcs[i].AdvanceTo(draws)
+		f.down[i] = down
+		f.next[i] = next
+	}
+	return nil
 }
 
 // Next pops the earliest pending transition at or before horizon

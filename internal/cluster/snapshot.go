@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+
+	"mlfs/internal/snapshot"
+)
+
+// EncodeState serialises the cluster's dynamic state: per-server up
+// flags and exact load accumulators, per-device exact loads, and every
+// placement in ascending task order. Static structure (server count,
+// capacities, device layout) is not written — it is rebuilt from the run
+// configuration and cross-checked on restore.
+//
+// The load accumulators (Server.used, Device.load) are written verbatim
+// rather than derived from the placements: they are the result of the
+// full Add/Sub/Clamp history of the run, which replaying only the
+// placements that are still alive cannot reproduce bit-for-bit in
+// floating point ((0+a+b)−a is not b in general).
+func (c *Cluster) EncodeState(w *snapshot.Writer) {
+	w.Int(len(c.servers))
+	for _, s := range c.servers {
+		w.Bool(s.up)
+		for _, v := range s.used {
+			w.Float64(v)
+		}
+		w.Int(len(s.devices))
+		for _, d := range s.devices {
+			w.Float64(d.load)
+		}
+	}
+	refs := make([]TaskRef, 0, len(c.placements))
+	for t := range c.placements {
+		refs = append(refs, t)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	w.Int(len(refs))
+	for _, t := range refs {
+		p := c.placements[t]
+		w.Int64(int64(p.Task))
+		w.Int(p.Server)
+		w.Int(p.Device)
+		for _, v := range p.Demand {
+			w.Float64(v)
+		}
+		w.Float64(p.GPUShare)
+	}
+}
+
+// RestoreState overlays an EncodeState payload onto a freshly built
+// cluster of the same shape: placements are replayed through Place to
+// rebuild the indices, then the load accumulators and up flags are
+// overwritten with the exact snapshotted values and every epoch bumped,
+// so all derived-load memos recompute from the restored state. It
+// returns ErrMismatch when the snapshot belongs to a different cluster
+// shape and ErrCorrupt on undecodable input; the cluster must be
+// discarded after an error.
+func (c *Cluster) RestoreState(r *snapshot.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(c.servers) {
+		return snapshot.Mismatchf("snapshot has %d servers, cluster has %d", n, len(c.servers))
+	}
+	up := make([]bool, n)
+	used := make([]Vec, n)
+	loads := make([][]float64, n)
+	for i, s := range c.servers {
+		up[i] = r.Bool()
+		for k := range used[i] {
+			used[i][k] = r.Float64()
+		}
+		nd := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if nd != len(s.devices) {
+			return snapshot.Mismatchf("snapshot has %d devices on server %d, cluster has %d", nd, i, len(s.devices))
+		}
+		loads[i] = make([]float64, nd)
+		for g := range loads[i] {
+			loads[i][g] = r.Float64()
+		}
+	}
+	np := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < np; i++ {
+		t := TaskRef(r.Int64())
+		server := r.Int()
+		device := r.Int()
+		var demand Vec
+		for k := range demand {
+			demand[k] = r.Float64()
+		}
+		gpuShare := r.Float64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		// Replay on the all-up fresh cluster; Place validates indices and
+		// duplicate refs, turning hostile input into a typed error.
+		if err := c.Place(t, server, device, demand, gpuShare); err != nil {
+			return snapshot.Corruptf("placement replay: %v", err)
+		}
+	}
+	for i, s := range c.servers {
+		s.used = used[i]
+		for g, d := range s.devices {
+			d.load = loads[i][g]
+		}
+		s.up = up[i]
+		s.bump()
+	}
+	c.bump()
+	return nil
+}

@@ -1,0 +1,21 @@
+package mlfc
+
+import "mlfs/internal/snapshot"
+
+// EncodeState implements the scheduler snapshot hook for the load
+// controller: everything but the Stops counter is configuration.
+func (c *Controller) EncodeState(w *snapshot.Writer) {
+	w.Int(c.Stops)
+}
+
+// DecodeState restores the stop counter.
+func (c *Controller) DecodeState(r *snapshot.Reader) error {
+	c.Stops = r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if c.Stops < 0 {
+		return snapshot.Corruptf("negative stop counter %d", c.Stops)
+	}
+	return nil
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mlfs/internal/snapshot"
 )
 
 // Curve is a parametric learning curve.
@@ -42,7 +44,12 @@ type Curve struct {
 	Rate   float64 // accuracy saturation rate (> 0)
 	Noise  float64 // relative observation noise (0 disables)
 
+	// rng drives the observation noise of ObservedAccuracy. It is backed
+	// by src, a counting source, so the stream position survives
+	// snapshot/restore: the noise a job sees after a resume is the same
+	// noise it would have seen uninterrupted.
 	rng *rand.Rand
+	src *snapshot.Source
 }
 
 // Validate reports whether the curve parameters are usable.
@@ -64,7 +71,27 @@ func (c *Curve) Validate() error {
 
 // Seed attaches a deterministic noise source. Without a seed the curve is
 // noiseless regardless of Noise.
-func (c *Curve) Seed(seed int64) { c.rng = rand.New(rand.NewSource(seed)) }
+func (c *Curve) Seed(seed int64) {
+	c.src = snapshot.NewSource(seed)
+	c.rng = rand.New(c.src)
+}
+
+// NoiseDraws returns the position of the observation-noise stream: how
+// many raw values have been drawn since Seed. Zero on unseeded curves.
+func (c *Curve) NoiseDraws() uint64 {
+	if c.src == nil {
+		return 0
+	}
+	return c.src.Draws()
+}
+
+// ReplayNoise moves the observation-noise stream to exactly n draws from
+// the seed (snapshot restore). No-op on unseeded curves.
+func (c *Curve) ReplayNoise(n uint64) {
+	if c.src != nil {
+		c.src.AdvanceTo(n)
+	}
+}
 
 // Loss returns the true (noiseless) loss after i completed iterations.
 func (c *Curve) Loss(i int) float64 {

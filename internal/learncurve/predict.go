@@ -75,6 +75,24 @@ func (p *Predictor) Observe(iter int, acc float64) {
 // NumObservations returns how many points the predictor has seen.
 func (p *Predictor) NumObservations() int { return len(p.iters) }
 
+// Observations returns the observed (iteration, accuracy) series. The
+// slices are the predictor's own storage; callers must not mutate them.
+func (p *Predictor) Observations() (iters []int, accs []float64) {
+	return p.iters, p.accs
+}
+
+// SetObservations replaces the whole observation series (snapshot
+// restore). The fit memo and basis caches are dropped; they are pure
+// functions of the series, so the next Fit recomputes bit-identical
+// values to a predictor that observed the same points one by one.
+func (p *Predictor) SetObservations(iters []int, accs []float64) {
+	p.iters = append(p.iters[:0], iters...)
+	p.accs = append(p.accs[:0], accs...)
+	p.fitN = 0
+	p.pows = nil
+	p.expf = nil
+}
+
 // LastIteration returns the latest observed iteration (0 when empty).
 func (p *Predictor) LastIteration() int {
 	if len(p.iters) == 0 {

@@ -9,25 +9,28 @@ import (
 // epochGuardAnalyzer protects the epoch-cache contract of
 // internal/cluster: every piece of load state that derived-value caches
 // key on (server used-vectors, device loads, placement sets) must only
-// change inside the designated mutators — Place, Remove, UpdateDemand —
-// because those are the functions that bump the server/cluster epoch. A
-// write anywhere else would leave stale iteration-cost and utilisation
-// caches serving wrong values with no failing test to show for it.
+// change inside the designated mutators — Place, Remove, UpdateDemand,
+// plus the snapshot overlay RestoreState — because those are the
+// functions that bump the server/cluster epoch. A write anywhere else
+// would leave stale iteration-cost and utilisation caches serving wrong
+// values with no failing test to show for it.
 //
 // Guarded fields are marked at their declaration with an //mlfs:guarded
 // line comment; fields named epoch may additionally only be written by
 // the bump methods that own the invalidation protocol.
 var epochGuardAnalyzer = &Analyzer{
 	Name: "epochguard",
-	Doc:  "writes to //mlfs:guarded (epoch-cached) struct fields outside the designated mutators Place/Remove/UpdateDemand",
+	Doc:  "writes to //mlfs:guarded (epoch-cached) struct fields outside the designated mutators Place/Remove/UpdateDemand/RestoreState",
 	Run:  runEpochGuard,
 }
 
 // epochMutators are the functions allowed to change guarded load state.
 // bump is included because the designated mutators delegate the epoch
-// advance to it.
+// advance to it; RestoreState overwrites the load accumulators with the
+// exact snapshotted values and owns its own bump calls.
 var epochMutators = map[string]bool{
 	"Place": true, "Remove": true, "UpdateDemand": true, "bump": true,
+	"RestoreState": true,
 }
 
 // epochWriters are the only functions allowed to advance an epoch field.

@@ -52,6 +52,7 @@ var DeterministicPaths = []string{
 	"mlfs/internal/baselines",
 	"mlfs/internal/queue",
 	"mlfs/internal/nn",
+	"mlfs/internal/snapshot",
 }
 
 // Package is one loaded, parsed and type-checked package. Test files

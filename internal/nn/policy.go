@@ -1,6 +1,10 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"mlfs/internal/snapshot"
+)
 
 // Policy is a softmax policy over a variable number of candidates. A
 // shared scoring network maps each candidate's feature vector to one
@@ -25,7 +29,10 @@ type Policy struct {
 	BaselineBeta float64
 	baselineInit bool
 
-	rng   *rand.Rand
+	rng *rand.Rand
+	// src is the draw-counting source under rng (identical bit-stream to
+	// rand.NewSource); it records the stream position for EncodeState.
+	src   *snapshot.Source
 	grads *Grads
 	ws    *Workspace
 	accum int // decisions accumulated into grads since the last Step
@@ -39,11 +46,13 @@ func NewPolicy(inputSize int, hidden []int, lr float64, seed int64) *Policy {
 	sizes := append([]int{inputSize}, hidden...)
 	sizes = append(sizes, 1)
 	net := NewNet(sizes, seed)
+	src := snapshot.NewSource(seed + 1)
 	return &Policy{
 		Net:          net,
 		Opt:          NewAdam(net, lr),
 		BaselineBeta: 0.9,
-		rng:          rand.New(rand.NewSource(seed + 1)),
+		rng:          rand.New(src),
+		src:          src,
 		grads:        net.NewGrads(),
 		ws:           NewWorkspace(1),
 	}

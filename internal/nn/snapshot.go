@@ -1,0 +1,152 @@
+package nn
+
+import "mlfs/internal/snapshot"
+
+// This file serialises the training state of the engine: network
+// parameters, Adam moments (including the unexported step count the
+// bias correction depends on), the pending un-stepped minibatch
+// gradient, the REINFORCE baseline and the exploration RNG position.
+// Scratch (Workspace) and test seams (reference) are excluded — they
+// carry no cross-round state.
+
+// decodeFloatsInto reads a float slice and copies it over dst, requiring
+// an exact length match (the shapes come from the run configuration).
+func decodeFloatsInto(r *snapshot.Reader, dst []float64, what string) error {
+	v := r.Floats()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(v) != len(dst) {
+		return snapshot.Mismatchf("%s has %d values, snapshot %d", what, len(dst), len(v))
+	}
+	copy(dst, v)
+	return nil
+}
+
+// EncodeState serialises the network parameters.
+func (n *Net) EncodeState(w *snapshot.Writer) {
+	w.Ints(n.sizes)
+	for l := range n.W {
+		w.Floats(n.W[l].Data)
+		w.Floats(n.B[l])
+	}
+}
+
+// DecodeState restores parameters into a net of identical layout.
+func (n *Net) DecodeState(r *snapshot.Reader) error {
+	sizes := r.Ints()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(sizes) != len(n.sizes) {
+		return snapshot.Mismatchf("net has %d layers, snapshot %d", len(n.sizes), len(sizes))
+	}
+	for i, s := range sizes {
+		if s != n.sizes[i] {
+			return snapshot.Mismatchf("net layer %d is %d wide, snapshot %d", i, n.sizes[i], s)
+		}
+	}
+	for l := range n.W {
+		if err := decodeFloatsInto(r, n.W[l].Data, "weight matrix"); err != nil {
+			return err
+		}
+		if err := decodeFloatsInto(r, n.B[l], "bias vector"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeState serialises the optimiser moments and step count.
+func (a *Adam) EncodeState(w *snapshot.Writer) {
+	w.Int(a.t)
+	for l := range a.mW {
+		w.Floats(a.mW[l].Data)
+		w.Floats(a.vW[l].Data)
+		w.Floats(a.mB[l])
+		w.Floats(a.vB[l])
+	}
+}
+
+// DecodeState restores the moments into an optimiser built for the same
+// net layout.
+func (a *Adam) DecodeState(r *snapshot.Reader) error {
+	a.t = r.Int()
+	if r.Err() == nil && a.t < 0 {
+		return snapshot.Corruptf("negative adam step count %d", a.t)
+	}
+	for l := range a.mW {
+		if err := decodeFloatsInto(r, a.mW[l].Data, "adam mW"); err != nil {
+			return err
+		}
+		if err := decodeFloatsInto(r, a.vW[l].Data, "adam vW"); err != nil {
+			return err
+		}
+		if err := decodeFloatsInto(r, a.mB[l], "adam mB"); err != nil {
+			return err
+		}
+		if err := decodeFloatsInto(r, a.vB[l], "adam vB"); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// EncodeState serialises the accumulated gradient.
+func (g *Grads) EncodeState(w *snapshot.Writer) {
+	for l := range g.DW {
+		w.Floats(g.DW[l].Data)
+		w.Floats(g.DB[l])
+	}
+}
+
+// DecodeState restores the gradient into a same-shape accumulator.
+func (g *Grads) DecodeState(r *snapshot.Reader) error {
+	for l := range g.DW {
+		if err := decodeFloatsInto(r, g.DW[l].Data, "grad DW"); err != nil {
+			return err
+		}
+		if err := decodeFloatsInto(r, g.DB[l], "grad DB"); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// EncodeState serialises the full training state of the policy.
+func (p *Policy) EncodeState(w *snapshot.Writer) {
+	p.Net.EncodeState(w)
+	p.Opt.EncodeState(w)
+	w.Float64(p.Baseline)
+	w.Bool(p.baselineInit)
+	p.grads.EncodeState(w)
+	w.Int(p.accum)
+	w.Uint64(p.src.Draws())
+}
+
+// DecodeState restores the policy (built with the same architecture and
+// seed) to the encoded mid-training state, including the pending
+// minibatch gradient and the exploration RNG stream position.
+func (p *Policy) DecodeState(r *snapshot.Reader) error {
+	if err := p.Net.DecodeState(r); err != nil {
+		return err
+	}
+	if err := p.Opt.DecodeState(r); err != nil {
+		return err
+	}
+	p.Baseline = r.Float64()
+	p.baselineInit = r.Bool()
+	if err := p.grads.DecodeState(r); err != nil {
+		return err
+	}
+	p.accum = r.Int()
+	draws := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if p.accum < 0 {
+		return snapshot.Corruptf("negative gradient accumulator %d", p.accum)
+	}
+	p.src.AdvanceTo(draws)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"mlfs/internal/cluster"
 	"mlfs/internal/job"
+	"mlfs/internal/snapshot"
 )
 
 // Scheduler is one scheduling policy (MLF-H, MLF-RL, MLFS or a baseline).
@@ -27,6 +28,21 @@ import (
 type Scheduler interface {
 	Name() string
 	Schedule(ctx *Context)
+}
+
+// Snapshotter is the per-scheduler hook of the crash-consistent
+// snapshot layer: EncodeState serialises every piece of state the
+// scheduler carries across rounds (policy weights, optimiser moments,
+// staged decisions, RNG positions, priority history — whatever exists),
+// and DecodeState restores a freshly constructed scheduler of the same
+// configuration to that state. Stateless policies implement both as
+// no-ops. The contract is bit-identity: a restored scheduler must emit
+// exactly the decisions the original would have from the snapshot point
+// on. Every scheduler in the registry implements this — the simulator
+// refuses to snapshot or resume a run whose scheduler does not.
+type Snapshotter interface {
+	EncodeState(w *snapshot.Writer)
+	DecodeState(r *snapshot.Reader) error
 }
 
 // Context is the scheduler's view of one round. All mutations go through

@@ -90,6 +90,25 @@ type Config struct {
 	// recovery (see FailureConfig). The zero value disables it and keeps
 	// the simulation bit-identical to a failure-free build.
 	Failures FailureConfig
+
+	// SnapshotEvery writes a crash-consistent snapshot of the complete
+	// simulation state to SnapshotPath after every SnapshotEvery ticks
+	// (0 disables snapshotting entirely — the hot path then pays one
+	// integer comparison per tick and allocates nothing; negative is a
+	// configuration error). The scheduler must implement
+	// sched.Snapshotter.
+	SnapshotEvery int
+	// SnapshotPath is the snapshot destination file, written atomically
+	// (temp file + rename) with a checksummed header. Required when
+	// SnapshotEvery > 0.
+	SnapshotPath string
+	// StopAtTick, when positive, makes Run return after that many total
+	// ticks have executed (counted across restores, like the snapshot
+	// cadence). It is the crash-injection seam of the chaos harness: a
+	// "killed" process is a run stopped mid-flight, resumed in a fresh
+	// simulator from the latest snapshot. The partial metrics returned
+	// by a stopped Run are discarded by resuming callers.
+	StopAtTick int
 }
 
 func (c Config) withDefaults() Config {
@@ -204,6 +223,10 @@ type Simulator struct {
 	recentSpare     []*job.Job
 	lastBWMark      float64
 
+	// tick counts executed steps across the whole logical run (restores
+	// included); it drives the snapshot cadence and StopAtTick.
+	tick int
+
 	// Fault injection (nil / unused when Config.Failures is zero).
 	// faults yields the deterministic failure/repair event stream;
 	// parked holds jobs sitting out their retry backoff, in
@@ -230,6 +253,17 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: no scheduler")
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("sim: SnapshotEvery must be >= 0, got %d", cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery > 0 {
+		if cfg.SnapshotPath == "" {
+			return nil, fmt.Errorf("sim: SnapshotEvery is set but SnapshotPath is empty")
+		}
+		if _, ok := cfg.Scheduler.(sched.Snapshotter); !ok {
+			return nil, fmt.Errorf("sim: scheduler %q does not implement sched.Snapshotter", cfg.Scheduler.Name())
+		}
 	}
 	jobs, err := cfg.Trace.MaterializeAll()
 	if err != nil {
@@ -291,6 +325,15 @@ func (s *Simulator) Run() (*metrics.Result, error) {
 			break
 		}
 		s.step(dt)
+		s.tick++
+		if s.cfg.SnapshotEvery > 0 && s.tick%s.cfg.SnapshotEvery == 0 {
+			if err := s.writeSnapshot(); err != nil {
+				return nil, err
+			}
+		}
+		if s.cfg.StopAtTick > 0 && s.tick >= s.cfg.StopAtTick {
+			break
+		}
 	}
 	s.counters.SimulatedSec = s.now
 	return metrics.Compute(s.sched.Name(), s.jobs, s.counters), nil
@@ -812,6 +855,20 @@ func (s *Simulator) truncate() {
 
 // Now returns the current simulation time (exposed for tests).
 func (s *Simulator) Now() float64 { return s.now }
+
+// Tick returns the number of ticks executed so far, restores included
+// (exposed for tests).
+func (s *Simulator) Tick() int { return s.tick }
+
+// Parked returns the jobs currently sitting out a retry backoff, in
+// failure-event order (exposed for tests).
+func (s *Simulator) Parked() []*job.Job { return s.parked }
+
+// SetStopAtTick adjusts the crash-injection limit of a constructed
+// simulator, letting the chaos harness and tests run one instance in
+// multiple Run segments (Run continues from where the last segment
+// stopped).
+func (s *Simulator) SetStopAtTick(n int) { s.cfg.StopAtTick = n }
 
 // Cluster exposes the cluster (for tests and tools).
 func (s *Simulator) Cluster() *cluster.Cluster { return s.cl }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlfs/internal/job"
+	"mlfs/internal/sched"
+	"mlfs/internal/snapshot"
+)
+
+// This file is the simulator's crash-consistent snapshot layer. A
+// snapshot captures every piece of dynamic state the next tick can read
+// — clock and tick cursor, arrival cursor, counters, per-job training
+// state, the waiting/active/parked/completed sets, exact cluster load
+// accumulators, the fault process RNG positions and the scheduler's own
+// state, including the per-job learning-curve noise stream positions —
+// and restoring it into a freshly constructed simulator of the same
+// configuration continues the run bit-identically to one that was never
+// interrupted.
+//
+// What is deliberately NOT captured: everything recomputable from the
+// base state. Static job/trace structure is re-materialised by New from
+// the same trace (deterministically); the iteration-cost caches, server
+// utilisation memos and Predictor fit memos are dropped and recomputed
+// to the exact same float64s; scratch buffers and worker pools are
+// rebuilt on use. Epoch values after restore differ from the original
+// run — they only key caches, which start invalid.
+
+// Snapshot serialises the full dynamic state. It fails only when the
+// scheduler does not implement sched.Snapshotter.
+func (s *Simulator) Snapshot() ([]byte, error) {
+	snapper, ok := s.sched.(sched.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: scheduler %q does not implement sched.Snapshotter", s.sched.Name())
+	}
+	w := snapshot.NewWriter()
+	s.encodeFingerprint(w)
+	w.Float64(s.now)
+	w.Int(s.tick)
+	w.Int(s.pending)
+	w.Float64(s.lastBWMark)
+	s.counters.EncodeState(w)
+	for _, b := range s.deadlineSnapped {
+		w.Bool(b)
+	}
+	for _, j := range s.jobs {
+		encodeJob(w, j)
+	}
+	encodeJobList(w, s.active)
+	encodeJobList(w, s.parked)
+	encodeJobList(w, s.recentCompleted)
+	// Waiting-set membership only, in sorted task-id order: schedulers
+	// consume the queue through the sorted Context.Waiting() accessor, so
+	// map insertion order carries no information (proven by the
+	// insertion-order determinism test), and sorting makes equal states
+	// encode to identical bytes.
+	ids := make([]int64, 0, len(s.waiting))
+	for id := range s.waiting {
+		ids = append(ids, int64(id))
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.Int64(id)
+	}
+	s.cl.EncodeState(w)
+	w.Bool(s.faults != nil)
+	if s.faults != nil {
+		s.faults.EncodeState(w)
+	}
+	snapper.EncodeState(w)
+	return w.Bytes(), nil
+}
+
+// Restore overlays a Snapshot payload onto a freshly constructed,
+// never-stepped simulator whose Config matches the snapshotted run
+// (same trace, cluster, scheduler and simulation parameters —
+// AdvanceWorkers and snapshot/stop settings are free to differ; results
+// are bit-identical for any worker count). On any error — ErrMismatch
+// for a snapshot of a different run, ErrCorrupt for undecodable bytes —
+// the simulator is left partially overwritten and must be discarded.
+func (s *Simulator) Restore(payload []byte) error {
+	snapper, ok := s.sched.(sched.Snapshotter)
+	if !ok {
+		return fmt.Errorf("sim: scheduler %q does not implement sched.Snapshotter", s.sched.Name())
+	}
+	r := snapshot.NewReader(payload)
+	if err := s.checkFingerprint(r); err != nil {
+		return err
+	}
+	s.now = r.Float64()
+	s.tick = r.Int()
+	s.pending = r.Int()
+	s.lastBWMark = r.Float64()
+	if err := s.counters.DecodeState(r); err != nil {
+		return err
+	}
+	if s.tick < 0 || s.pending < 0 || s.pending > len(s.jobs) {
+		return snapshot.Corruptf("cursor out of range: tick %d, pending %d of %d jobs", s.tick, s.pending, len(s.jobs))
+	}
+	for i := range s.deadlineSnapped {
+		s.deadlineSnapped[i] = r.Bool()
+	}
+	for _, j := range s.jobs {
+		if err := decodeJob(r, j); err != nil {
+			return err
+		}
+	}
+	var err error
+	if s.active, err = s.decodeJobList(r, s.active); err != nil {
+		return err
+	}
+	if s.parked, err = s.decodeJobList(r, s.parked); err != nil {
+		return err
+	}
+	if s.recentCompleted, err = s.decodeJobList(r, s.recentCompleted); err != nil {
+		return err
+	}
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	clear(s.waiting)
+	for i := 0; i < n; i++ {
+		id := job.TaskID(r.Int64())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		t := s.ctx.TaskByRef(id.Ref())
+		if t == nil {
+			return snapshot.Corruptf("waiting task %d is not part of this run", id)
+		}
+		s.waiting[t.ID] = t
+	}
+	if err := s.cl.RestoreState(r); err != nil {
+		return err
+	}
+	hasFaults := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if hasFaults != (s.faults != nil) {
+		return snapshot.Mismatchf("snapshot fault injection %v, config %v", hasFaults, s.faults != nil)
+	}
+	if s.faults != nil {
+		if err := s.faults.DecodeState(r); err != nil {
+			return err
+		}
+	}
+	if err := snapper.DecodeState(r); err != nil {
+		return err
+	}
+	return r.Finish()
+}
+
+// writeSnapshot persists the current state to cfg.SnapshotPath.
+func (s *Simulator) writeSnapshot() error {
+	payload, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(s.cfg.SnapshotPath, payload)
+}
+
+// fingerprintFloats are the run parameters a resumed simulation must
+// reproduce exactly for bit-identity to hold. Compared bit-for-bit on
+// restore.
+func (s *Simulator) fingerprintFloats() []float64 {
+	c := &s.cfg
+	f := c.Failures
+	return []float64{
+		c.TickSec, c.HR, c.HS, c.FlowMBps,
+		c.DemandWobble, c.WobblePeriodSec, c.MaxSimSec,
+		c.StragglerProb, c.StragglerSlow,
+		f.MTTFSec, f.MTTRSec, float64(f.CheckpointEveryIters),
+		float64(f.MaxRetries), f.RetryBackoffSec, float64(f.Seed),
+	}
+}
+
+// encodeFingerprint writes the run identity the snapshot belongs to.
+func (s *Simulator) encodeFingerprint(w *snapshot.Writer) {
+	w.String(s.sched.Name())
+	w.Int(len(s.jobs))
+	w.Int(s.cl.NumServers())
+	w.Int(s.cl.NumGPUs())
+	w.Bool(s.cfg.ReplicateStragglers)
+	w.Floats(s.fingerprintFloats())
+}
+
+// checkFingerprint validates the snapshot against this simulator's run
+// configuration, returning ErrMismatch with a pointed message on any
+// difference.
+func (s *Simulator) checkFingerprint(r *snapshot.Reader) error {
+	name := r.String()
+	jobs := r.Int()
+	servers := r.Int()
+	gpus := r.Int()
+	replicate := r.Bool()
+	params := r.Floats()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if name != s.sched.Name() {
+		return snapshot.Mismatchf("snapshot is of scheduler %q, run uses %q", name, s.sched.Name())
+	}
+	if jobs != len(s.jobs) || servers != s.cl.NumServers() || gpus != s.cl.NumGPUs() {
+		return snapshot.Mismatchf("snapshot is of %d jobs on %d servers/%d GPUs, run has %d/%d/%d",
+			jobs, servers, gpus, len(s.jobs), s.cl.NumServers(), s.cl.NumGPUs())
+	}
+	if replicate != s.cfg.ReplicateStragglers {
+		return snapshot.Mismatchf("snapshot straggler replication %v, run %v", replicate, s.cfg.ReplicateStragglers)
+	}
+	want := s.fingerprintFloats()
+	if len(params) != len(want) {
+		return snapshot.Mismatchf("snapshot has %d run parameters, this build expects %d", len(params), len(want))
+	}
+	for i, v := range want {
+		// Exact bit comparison: any drift in a run parameter breaks the
+		// bit-identical-resume contract, so close is not good enough.
+		if math.Float64bits(params[i]) != math.Float64bits(v) {
+			return snapshot.Mismatchf("run parameter %d differs: snapshot %v, run %v", i, params[i], v)
+		}
+	}
+	return nil
+}
+
+// encodeJob writes one job's dynamic state. Static structure (tasks,
+// demands, curve, estimated runtime, deadlines) is re-materialised from
+// the trace and not written.
+func encodeJob(w *snapshot.Writer, j *job.Job) {
+	w.Int(int(j.State))
+	w.Float64(j.Progress)
+	w.Float64(j.FinishTime)
+	w.Float64(j.WaitingTime)
+	w.Float64(j.AccuracyAtDeadline)
+	w.Bool(j.EverPlaced)
+	w.Float64(j.CheckpointProgress)
+	w.Int(j.Retries)
+	w.Float64(j.NextRetryAt)
+	iters, accs := j.Predictor.Observations()
+	w.Ints(iters)
+	w.Floats(accs)
+	// The curve's parameters are re-materialised from the trace, but its
+	// observation-noise stream position is runtime state: without it a
+	// resumed job would replay noise the uninterrupted run already drew.
+	w.Uint64(j.Curve.NoiseDraws())
+	for _, t := range j.Tasks {
+		w.Float64(t.QueuedAt)
+	}
+}
+
+// decodeJob restores one job's dynamic state.
+func decodeJob(r *snapshot.Reader, j *job.Job) error {
+	state := r.Int()
+	progress := r.Float64()
+	finishTime := r.Float64()
+	waitingTime := r.Float64()
+	accAtDeadline := r.Float64()
+	everPlaced := r.Bool()
+	checkpoint := r.Float64()
+	retries := r.Int()
+	nextRetryAt := r.Float64()
+	iters := r.Ints()
+	accs := r.Floats()
+	noiseDraws := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if state < int(job.Pending) || state > int(job.Killed) {
+		return snapshot.Corruptf("job %d has state %d", j.ID, state)
+	}
+	if len(iters) != len(accs) {
+		return snapshot.Corruptf("job %d has %d curve iterations but %d accuracies", j.ID, len(iters), len(accs))
+	}
+	j.State = job.State(state)
+	j.Progress = progress
+	j.FinishTime = finishTime
+	j.WaitingTime = waitingTime
+	j.AccuracyAtDeadline = accAtDeadline
+	j.EverPlaced = everPlaced
+	j.CheckpointProgress = checkpoint
+	j.Retries = retries
+	j.NextRetryAt = nextRetryAt
+	j.Predictor.SetObservations(iters, accs)
+	j.Curve.ReplayNoise(noiseDraws)
+	for _, t := range j.Tasks {
+		t.QueuedAt = r.Float64()
+	}
+	return r.Err()
+}
+
+// encodeJobList writes an ordered job set as SimIndexes (order matters:
+// parked order is failure-event order, completed order is finish order).
+func encodeJobList(w *snapshot.Writer, jobs []*job.Job) {
+	w.Int(len(jobs))
+	for _, j := range jobs {
+		w.Int(j.SimIndex)
+	}
+}
+
+// decodeJobList reads an ordered job set into dst, validating indexes.
+func (s *Simulator) decodeJobList(r *snapshot.Reader, dst []*job.Job) ([]*job.Job, error) {
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return dst, err
+	}
+	dst = dst[:0]
+	seen := make([]bool, len(s.jobs))
+	for i := 0; i < n; i++ {
+		idx := r.Int()
+		if err := r.Err(); err != nil {
+			return dst, err
+		}
+		if idx < 0 || idx >= len(s.jobs) {
+			return dst, snapshot.Corruptf("job index %d out of range [0,%d)", idx, len(s.jobs))
+		}
+		if seen[idx] {
+			return dst, snapshot.Corruptf("job index %d repeated", idx)
+		}
+		seen[idx] = true
+		dst = append(dst, s.jobs[idx])
+	}
+	return dst, nil
+}

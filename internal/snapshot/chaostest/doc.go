@@ -1,0 +1,16 @@
+// Package chaostest is the crash–replay harness for the snapshot
+// subsystem: its tests repeatedly "kill" a simulation at randomized
+// (seeded) ticks, resume a fresh process image from the latest on-disk
+// snapshot, and assert that the final metrics — down to each job's
+// completion time — are byte-identical to a run that was never
+// interrupted, across schedulers, advance-worker counts and failure
+// configurations. It also hosts FuzzSnapshotDecode (mutated snapshot
+// bytes must yield typed errors, never panics) and the format-version
+// guard that fails when a snapshotted struct changes shape without a
+// FormatVersion bump.
+//
+// The package intentionally contains no production code: everything
+// lives in test files so the harness ships with the repo's test suite.
+// Determinism contract: the harness only *verifies* determinism; its own
+// randomness (kill-tick selection) is seeded and reproducible.
+package chaostest

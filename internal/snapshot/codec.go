@@ -1,0 +1,235 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Writer serialises snapshot sections into a growing byte buffer.
+// Integers use zigzag varints, floats their exact IEEE-754 bits, so the
+// encoding is byte-identical for equal state and lossless for the
+// float64 accumulators the simulator's determinism depends on.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 4096)} }
+
+// Bytes returns the encoded payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uint64 appends an unsigned varint.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int64 appends a signed (zigzag) varint.
+func (w *Writer) Int64(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.Int64(int64(v)) }
+
+// Bool appends a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// Float64 appends the exact 8-byte little-endian IEEE-754 bits.
+func (w *Writer) Float64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Uint64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Floats appends a length-prefixed []float64.
+func (w *Writer) Floats(v []float64) {
+	w.Uint64(uint64(len(v)))
+	for _, f := range v {
+		w.Float64(f)
+	}
+}
+
+// Ints appends a length-prefixed []int.
+func (w *Writer) Ints(v []int) {
+	w.Uint64(uint64(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// Reader decodes a payload produced by Writer. It is total: any
+// malformed input (truncation, oversized lengths, stray bytes) sets a
+// sticky ErrCorrupt-wrapping error and every subsequent read returns a
+// zero value, so callers can decode a whole section and check Err()
+// once. It never panics and never allocates based on unvalidated
+// lengths.
+type Reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewReader wraps payload bytes for decoding.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.pos }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = Corruptf(format, args...)
+	}
+}
+
+// Finish reports an error when decoding failed or bytes are left over.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return Corruptf("%d trailing bytes", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// Uint64 reads an unsigned varint.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Int64 reads a signed varint.
+func (r *Reader) Int64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Int reads a signed varint as an int.
+func (r *Reader) Int() int { return int(r.Int64()) }
+
+// Bool reads a 0/1 byte; any other value is corrupt.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.data) {
+		r.fail("truncated bool at offset %d", r.pos)
+		return false
+	}
+	b := r.data[r.pos]
+	r.pos++
+	if b > 1 {
+		r.fail("bad bool byte %d at offset %d", b, r.pos-1)
+		return false
+	}
+	return b == 1
+}
+
+// Float64 reads exact IEEE-754 bits.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("truncated float64 at offset %d", r.pos)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+// length reads a collection length and validates it against the bytes
+// still available (minBytes per element), bounding allocations.
+func (r *Reader) length(minBytes int) int {
+	n := r.Uint64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining())/uint64(minBytes) {
+		r.fail("length %d exceeds remaining %d bytes", n, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// Floats reads a length-prefixed []float64 (nil when empty).
+func (r *Reader) Floats() []float64 {
+	n := r.length(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int (nil when empty).
+func (r *Reader) Ints() []int {
+	n := r.length(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Len reads a collection length written with Writer.Int, for
+// caller-managed decoding loops. Validated non-negative and against at
+// least one byte per element, bounding both allocations and loop trips.
+// (Writer.Int is zigzag-encoded, so this must NOT share the Uvarint path
+// of the Writer.Uint64-prefixed String/Floats/Ints.)
+func (r *Reader) Len() int {
+	n := r.Int64()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(r.Remaining()) {
+		r.fail("length %d invalid with %d bytes remaining", n, r.Remaining())
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCodecRoundTrip: every primitive survives a write/read cycle
+// exactly, including the float64 bit patterns determinism depends on.
+func TestCodecRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(0)
+	w.Uint64(1 << 63)
+	w.Int64(-12345)
+	w.Int(42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(0.1 + 0.2) // not representable exactly: bits must survive
+	w.Float64(math.Inf(-1))
+	w.Float64(math.Float64frombits(0x7ff8000000000001)) // a specific NaN
+	w.String("snapshot")
+	w.String("")
+	w.Floats([]float64{1.5, -2.25, 0})
+	w.Floats(nil)
+	w.Ints([]int{3, -1, 0})
+	w.Ints(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("Uint64: %d", got)
+	}
+	if got := r.Uint64(); got != 1<<63 {
+		t.Fatalf("Uint64: %d", got)
+	}
+	if got := r.Int64(); got != -12345 {
+		t.Fatalf("Int64: %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Fatalf("Int: %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("Int: %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip")
+	}
+	if bits := math.Float64bits(r.Float64()); bits != math.Float64bits(0.1+0.2) {
+		t.Fatalf("Float64 bits: %x", bits)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Fatalf("Float64 -inf: %v", got)
+	}
+	if bits := math.Float64bits(r.Float64()); bits != 0x7ff8000000000001 {
+		t.Fatalf("NaN payload not preserved: %x", bits)
+	}
+	if got := r.String(); got != "snapshot" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String: %q", got)
+	}
+	f := r.Floats()
+	if len(f) != 3 || f[0] != 1.5 || f[1] != -2.25 || f[2] != 0 {
+		t.Fatalf("Floats: %v", f)
+	}
+	if got := r.Floats(); got != nil {
+		t.Fatalf("empty Floats: %v", got)
+	}
+	is := r.Ints()
+	if len(is) != 3 || is[0] != 3 || is[1] != -1 || is[2] != 0 {
+		t.Fatalf("Ints: %v", is)
+	}
+	if got := r.Ints(); got != nil {
+		t.Fatalf("empty Ints: %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLenMatchesWriterInt: counts written with Writer.Int (zigzag) must
+// read back through Reader.Len — regression for a desync where Len read
+// the unsigned encoding and saw every count doubled.
+func TestLenMatchesWriterInt(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 1000} {
+		w := NewWriter()
+		w.Int(n)
+		for i := 0; i < n; i++ {
+			w.Bool(true)
+		}
+		r := NewReader(w.Bytes())
+		if got := r.Len(); got != n {
+			t.Fatalf("Len read %d for count %d (err %v)", got, n, r.Err())
+		}
+	}
+}
+
+// TestReaderTotalOnGarbage: a reader over malformed bytes reports a
+// typed ErrCorrupt and keeps returning zero values, never panicking.
+func TestReaderTotalOnGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           nil,
+		"truncated float": {1, 2, 3},
+		"bad bool":        {7},
+		"huge length":     {0xff, 0xff, 0xff, 0xff, 0x0f}, // uvarint ~1e9 with nothing behind it
+	}
+	for name, data := range cases {
+		r := NewReader(data)
+		_ = r.Float64()
+		_ = r.Bool()
+		_ = r.Floats()
+		_ = r.Ints()
+		_ = r.String()
+		_ = r.Len()
+		if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A negative count is corrupt for Len.
+	w := NewWriter()
+	w.Int(-1)
+	r := NewReader(w.Bytes())
+	if r.Len() != 0 || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("negative Len: %v", r.Err())
+	}
+}
+
+// TestFinishTrailingBytes: leftover bytes after a full decode are an
+// error — they mean the decoder and encoder disagree about the layout.
+func TestFinishTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.Int(5)
+	w.Bool(true)
+	r := NewReader(w.Bytes())
+	if got := r.Int(); got != 5 {
+		t.Fatalf("Int: %d", got)
+	}
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish with trailing bytes: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// File header: 8-byte magic, then a fixed little-endian trailer of
+// format version (4 bytes), payload length (8 bytes) and payload CRC-32
+// (IEEE, 4 bytes), followed by the payload itself. The checksum is
+// verified before any payload byte is decoded, so random corruption is
+// caught up front; truncation inside the header or payload is caught by
+// the explicit length field.
+const (
+	magic      = "MLFSSNAP"
+	headerSize = len(magic) + 4 + 8 + 4
+)
+
+// Encode frames a payload with the snapshot header and checksum.
+func Encode(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// Decode validates the header and checksum and returns the payload.
+// Errors wrap ErrCorrupt (bad magic, truncation, checksum) or
+// ErrVersion (valid frame, unknown format version).
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, Corruptf("file shorter than header (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, Corruptf("bad magic")
+	}
+	off := len(magic)
+	version := binary.LittleEndian.Uint32(data[off:])
+	length := binary.LittleEndian.Uint64(data[off+4:])
+	sum := binary.LittleEndian.Uint32(data[off+12:])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, version, FormatVersion)
+	}
+	payload := data[headerSize:]
+	if uint64(len(payload)) != length {
+		return nil, Corruptf("payload is %d bytes, header declares %d", len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, Corruptf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// WriteFile atomically persists a framed snapshot: the bytes are written
+// to a temporary file in the destination directory and renamed over
+// path, so a crash mid-write leaves either the previous snapshot or
+// none — never a torn file at the final name.
+func WriteFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	framed := Encode(payload)
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and validates a snapshot file, returning its payload.
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(data)
+}

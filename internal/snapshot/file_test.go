@@ -1,0 +1,126 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileRoundTrip: WriteFile then ReadFile returns the exact payload,
+// and the temporary file is gone.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.snap")
+	payload := []byte("complete simulator state goes here")
+	if err := WriteFile(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload changed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover temp files: %v", entries)
+	}
+}
+
+// TestWriteFileReplacesAtomically: rewriting keeps the path readable
+// with the newest payload.
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.snap")
+	for i, payload := range [][]byte{[]byte("old"), []byte("newer state")} {
+		if err := WriteFile(path, payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("read %d: %q", i, got)
+		}
+	}
+}
+
+// TestDecodeRejectsDamage: every class of file damage yields the right
+// typed error, never a panic or silent success.
+func TestDecodeRejectsDamage(t *testing.T) {
+	framed := Encode([]byte("payload bytes to protect"))
+
+	flipped := bytes.Clone(framed)
+	flipped[len(flipped)-1] ^= 0x40 // corrupt payload: checksum must catch it
+	badMagic := bytes.Clone(framed)
+	badMagic[0] = 'X'
+	badVersion := bytes.Clone(framed)
+	binary.LittleEndian.PutUint32(badVersion[len(magic):], FormatVersion+1)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"short header", framed[:headerSize-1], ErrCorrupt},
+		{"truncated payload", framed[:len(framed)-3], ErrCorrupt},
+		{"bit flip", flipped, ErrCorrupt},
+		{"bad magic", badMagic, ErrCorrupt},
+		{"future version", badVersion, ErrVersion},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); !errors.Is(err, c.want) {
+			t.Fatalf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	if _, err := Decode(framed); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}
+
+// TestReadFileMissing surfaces the underlying os error for absent files
+// (callers distinguish "no snapshot yet" from "snapshot damaged").
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.snap"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+// TestSourceReplay: the counting RNG source reproduces its exact stream
+// position after AdvanceTo, including re-seeding when already past.
+func TestSourceReplay(t *testing.T) {
+	a := NewSource(99)
+	for i := 0; i < 1000; i++ {
+		a.Int63()
+	}
+	draws := a.Draws()
+	next := a.Int63()
+
+	b := NewSource(99)
+	b.AdvanceTo(draws)
+	if got := b.Int63(); got != next {
+		t.Fatalf("replayed stream diverged: %d vs %d", got, next)
+	}
+	// Rewind: AdvanceTo below the current position restarts from seed.
+	b.AdvanceTo(draws)
+	if got := b.Int63(); got != next {
+		t.Fatalf("rewound stream diverged: %d vs %d", got, next)
+	}
+	// Uint64 draws advance the same underlying stream position.
+	c := NewSource(99)
+	for i := 0; i < 500; i++ {
+		c.Uint64()
+	}
+	if c.Draws() != 500 {
+		t.Fatalf("Uint64 draws not counted: %d", c.Draws())
+	}
+}

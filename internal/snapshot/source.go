@@ -1,0 +1,60 @@
+package snapshot
+
+import "math/rand"
+
+// Source is a rand.Source64 that counts draws so the stream position can
+// be snapshotted and restored exactly. It delegates to the standard
+// math/rand source for the given seed, so a *rand.Rand built on it emits
+// the identical bit-stream to one built on rand.NewSource(seed) — code
+// that switches to Source keeps its historical outputs byte-for-byte.
+//
+// The state of the underlying generator is (seed, draws): both Int63 and
+// Uint64 advance the standard source by exactly one step, and the
+// *rand.Rand wrapper keeps no hidden state across the methods the
+// simulator uses, so re-seeding and replaying Draws() steps reproduces
+// the generator mid-stream. Variable-draw consumers (ExpFloat64's
+// ziggurat rejection loop) are covered for free because counting happens
+// at the source, not the distribution.
+type Source struct {
+	seed  int64
+	inner rand.Source64
+	draws uint64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, inner: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws the next value, advancing the counter.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.inner.Int63()
+}
+
+// Uint64 draws the next value, advancing the counter.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.inner.Uint64()
+}
+
+// Seed re-seeds the source and resets the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.inner.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns how many values have been drawn since seeding.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// AdvanceTo fast-forwards the stream to exactly n draws from the seed,
+// rewinding (by re-seeding) first if the stream is already past n.
+func (s *Source) AdvanceTo(n uint64) {
+	if s.draws > n {
+		s.Seed(s.seed)
+	}
+	for s.draws < n {
+		s.Int63()
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"mlfs/internal/core/mlfrl"
 	"mlfs/internal/metrics"
 	"mlfs/internal/sched"
+	"mlfs/internal/snapshot"
 	"mlfs/internal/trace"
 )
 
@@ -62,6 +63,21 @@ func (s *composite) Schedule(ctx *sched.Context) {
 // Close releases MLF-RL's neural-engine worker pool (the simulator
 // calls it at the end of a run).
 func (s *composite) Close() { s.rl.Close() }
+
+// EncodeState implements sched.Snapshotter by concatenating the RL
+// scheduler's training state and the load controller's counter.
+func (s *composite) EncodeState(w *snapshot.Writer) {
+	s.rl.EncodeState(w)
+	s.c.EncodeState(w)
+}
+
+// DecodeState implements sched.Snapshotter.
+func (s *composite) DecodeState(r *snapshot.Reader) error {
+	if err := s.rl.DecodeState(r); err != nil {
+		return err
+	}
+	return s.c.DecodeState(r)
+}
 
 // SchedulerOptions tune the MLFS-family schedulers. The zero value means
 // the paper's §4.1 defaults.
@@ -156,7 +172,9 @@ func SchedulerNames() []string {
 
 // NewScheduler constructs a scheduling policy by name (see
 // SchedulerNames). opts applies to the MLFS family; baselines only use
-// opts.Seed.
+// opts.Seed. Beyond the names the paper plots, "fifo" and "srtf" build
+// the classic arrival-order and shortest-remaining-time references (kept
+// out of SchedulerNames so the default figure sweeps are unchanged).
 func NewScheduler(name string, opts SchedulerOptions) (Scheduler, error) {
 	seed := opts.Seed
 	if seed == 0 {
@@ -183,6 +201,10 @@ func NewScheduler(name string, opts SchedulerOptions) (Scheduler, error) {
 		return baselines.NewHyperSched(), nil
 	case "rl":
 		return baselines.NewRLSched(seed), nil
+	case "fifo":
+		return baselines.NewFIFO(), nil
+	case "srtf":
+		return baselines.NewSRTF(), nil
 	default:
 		known := SchedulerNames()
 		sort.Strings(known)

@@ -9,7 +9,22 @@ import (
 	"mlfs/internal/cluster"
 	"mlfs/internal/philly"
 	"mlfs/internal/sim"
+	"mlfs/internal/snapshot"
 	"mlfs/internal/trace"
+)
+
+// Snapshot error classes, re-exported so CLI callers can decide between
+// "wrong file" and "damaged file" without importing internal packages.
+var (
+	// ErrSnapshotCorrupt marks a snapshot that cannot be decoded:
+	// truncation, bit corruption, checksum failure.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrSnapshotVersion marks a snapshot written by an incompatible
+	// format version of this package.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotMismatch marks a well-formed snapshot that belongs to a
+	// different run configuration than the one being resumed.
+	ErrSnapshotMismatch = snapshot.ErrMismatch
 )
 
 // ClusterPreset selects one of the paper's two cluster scales.
@@ -74,6 +89,16 @@ type Options struct {
 	// failure trace depends only on Failures.Seed and the cluster size,
 	// so every scheduler in a comparison faces identical failures.
 	Failures FailureConfig
+
+	// SnapshotEvery > 0 makes the run write a crash-consistent snapshot
+	// of its complete state to SnapshotPath every SnapshotEvery ticks
+	// (atomic write-then-rename, so a crash mid-write leaves the previous
+	// snapshot intact). Resume continues such a run bit-identically. 0
+	// (the default) disables snapshotting entirely and costs nothing.
+	SnapshotEvery int
+	// SnapshotPath is the snapshot file location; required when
+	// SnapshotEvery > 0.
+	SnapshotPath string
 }
 
 // FailureConfig configures fault injection: seeded MTTF/MTTR server
@@ -155,8 +180,10 @@ func SaveTraceCSV(t *Trace, path string) error {
 	return f.Close()
 }
 
-// Run executes one simulation and returns the paper's metrics.
-func Run(opts Options) (*Result, error) {
+// newSimulator builds the configured simulator: scheduler by name when
+// no instance is given, trace generation when none is supplied, cluster
+// preset resolution.
+func newSimulator(opts Options) (*sim.Simulator, error) {
 	s := opts.Sched
 	if s == nil {
 		if opts.Scheduler == "" {
@@ -179,7 +206,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		tr = GenerateTrace(opts.Jobs, opts.Seed, dur)
 	}
-	simulator, err := sim.New(sim.Config{
+	return sim.New(sim.Config{
 		Cluster:             opts.clusterConfig(),
 		Trace:               tr,
 		Scheduler:           s,
@@ -192,8 +219,37 @@ func Run(opts Options) (*Result, error) {
 		ReplicateStragglers: opts.ReplicateStragglers,
 		AdvanceWorkers:      opts.AdvanceWorkers,
 		Failures:            opts.Failures,
+		SnapshotEvery:       opts.SnapshotEvery,
+		SnapshotPath:        opts.SnapshotPath,
 	})
+}
+
+// Run executes one simulation and returns the paper's metrics.
+func Run(opts Options) (*Result, error) {
+	simulator, err := newSimulator(opts)
 	if err != nil {
+		return nil, err
+	}
+	return simulator.Run()
+}
+
+// Resume continues a run from a snapshot written by a previous Run with
+// SnapshotEvery set, producing metrics bit-identical to the run that was
+// interrupted — provided opts describes the same run (same scheduler,
+// trace/Jobs/Seed and simulation parameters; AdvanceWorkers and the
+// snapshot options themselves may differ). A snapshot from a different
+// run fails with ErrSnapshotMismatch; unreadable or tampered bytes fail
+// with ErrSnapshotCorrupt (callers typically fall back to a fresh Run).
+func Resume(path string, opts Options) (*Result, error) {
+	payload, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	simulator, err := newSimulator(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := simulator.Restore(payload); err != nil {
 		return nil, err
 	}
 	return simulator.Run()
