@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint docs race race-nn race-fault resume ci bench nnbench simbench faultbench
+.PHONY: all build test vet lint docs race race-nn race-fault resume scale ci bench nnbench simbench faultbench scalebench
 
 all: build
 
@@ -54,7 +54,13 @@ race-fault:
 resume:
 	$(GO) test -race ./internal/snapshot/... ./cmd/mlfs-sim/
 
-ci: vet lint docs test race-nn race-fault resume race
+# Philly-scale smoke: the streaming sparse core end to end — the scale
+# benchmark at reduced sizes, under the race detector, into a throwaway
+# directory (the real sweep is `make scalebench`).
+scale:
+	$(GO) run -race ./cmd/mlfs-bench -scalebench -scalebench-jobs 200,400 -scalebench-servers 8 -out /tmp/mlfs-scale-smoke
+
+ci: vet lint docs test race-nn race-fault resume scale race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation
@@ -76,3 +82,8 @@ simbench:
 # -> results/BENCH_fault.json.
 faultbench:
 	$(GO) run ./cmd/mlfs-bench -out results -faultbench
+
+# Philly-scale sweep: per-decision cost and peak memory at
+# {1k,10k,100k} jobs x {55,550} servers -> results/BENCH_scale.json.
+scalebench:
+	$(GO) run ./cmd/mlfs-bench -out results -scalebench

@@ -60,6 +60,11 @@ func main() {
 		nnbench = flag.Bool("nnbench", false, "profile the MLF-RL policy engine and write BENCH_nn.json")
 		nnBase  = flag.Float64("nnbench-baseline", 9.2,
 			"recorded wall-seconds of the mlf-rl Figure-4 sweep before NN batching (0 to omit the comparison)")
+		scalebench  = flag.Bool("scalebench", false, "profile per-decision cost and peak memory at Philly scale and write BENCH_scale.json")
+		scaleJobs   = flag.String("scalebench-jobs", "1000,10000,100000", "comma-separated job counts for -scalebench")
+		scaleSrv    = flag.String("scalebench-servers", "55,550", "comma-separated server counts for -scalebench")
+		scaleScheds = flag.String("scalebench-schedulers", "", "comma-separated scheduler subset for -scalebench (default fifo,srtf,mlf-h)")
+
 		faultbench = flag.Bool("faultbench", false, "sweep JCT degradation vs server MTTF and write BENCH_fault.json")
 		faultJobs  = flag.Int("faultbench-jobs", 155, "job count for -faultbench runs")
 		faultMTTFs = flag.String("faultbench-mttfs", "", "override the MTTF sweep: comma-separated seconds (0 = failure-free baseline)")
@@ -85,6 +90,24 @@ func main() {
 	}
 	if *nnbench {
 		if err := runNNBench(filepath.Join(*out, "BENCH_nn.json"), *nnBase); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scalebench {
+		jobCounts, err := parseInts(*scaleJobs)
+		if err != nil {
+			fatal(err)
+		}
+		serverCounts, err := parseInts(*scaleSrv)
+		if err != nil {
+			fatal(err)
+		}
+		schedulers := scaleBenchSchedulers
+		if *scaleScheds != "" {
+			schedulers = strings.Split(*scaleScheds, ",")
+		}
+		if err := runScaleBench(filepath.Join(*out, "BENCH_scale.json"), *seed, jobCounts, serverCounts, schedulers); err != nil {
 			fatal(err)
 		}
 		return
@@ -410,6 +433,20 @@ func parseMTTFs(s string) ([]float64, error) {
 		}
 		if v < 0 {
 			return nil, fmt.Errorf("-faultbench-mttfs values must be >= 0 (0 = failure-free baseline), got %v", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated list of positive ints (the
+// -scalebench sweep overrides).
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad count %q: want a positive integer", part)
 		}
 		out = append(out, v)
 	}

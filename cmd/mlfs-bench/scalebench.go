@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mlfs"
+)
+
+// The scale benchmark measures how the simulator's per-decision cost
+// and memory footprint grow with workload size: Philly-scale job counts
+// (up to the trace's 100k+ submissions) on the paper's two cluster
+// scales, streamed through the synthetic Philly source so no run ever
+// materialises its whole workload. The headline number is the
+// ns-per-decision growth from 1k to 100k jobs — flat-ish growth is the
+// evidence that the sparse core's per-decision cost tracks live jobs,
+// not total submissions.
+
+// scaleBenchJobs and scaleBenchServers define the default sweep.
+var (
+	scaleBenchJobs    = []int{1_000, 10_000, 100_000}
+	scaleBenchServers = []int{55, 550}
+)
+
+// scaleBenchSchedulers are the policies profiled: the two classic
+// references plus the paper's heuristic core. (MLF-RL trains a neural
+// policy per decision; its cost is profiled separately by -nnbench.)
+var scaleBenchSchedulers = []string{"fifo", "srtf", "mlf-h"}
+
+// scaleBenchEntry is one (scheduler, jobs, servers) cell.
+type scaleBenchEntry struct {
+	Scheduler     string  `json:"scheduler"`
+	Jobs          int     `json:"jobs"`
+	Servers       int     `json:"servers"`
+	GPUs          int     `json:"gpus"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Decisions     int     `json:"decisions"` // placements + migrations + evictions + scheduling rounds
+	NsPerDecision float64 `json:"ns_per_decision"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+	SimulatedDays float64 `json:"simulated_days"`
+	AvgJCTMin     float64 `json:"avg_jct_min"`
+	Completed     int     `json:"completed"` // jobs that ran to completion (neither truncated nor rejected)
+	Truncated     int     `json:"truncated"`
+	Rejected      int     `json:"rejected"`
+}
+
+// scaleBenchReport is the BENCH_scale.json schema.
+type scaleBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Seed        int64             `json:"seed"`
+	Headline    string            `json:"headline"`
+	Entries     []scaleBenchEntry `json:"entries"`
+}
+
+// runScaleBench sweeps schedulers × job counts × cluster sizes and
+// writes BENCH_scale.json. Every cell streams a synthetic Philly
+// workload (seeded, so every scheduler at a given size faces the
+// identical submission sequence) over an arrival window scaled to keep
+// cluster pressure comparable across sizes.
+func runScaleBench(path string, seed int64, jobCounts, serverCounts []int, schedulers []string) error {
+	report := scaleBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:        seed,
+	}
+	for _, servers := range serverCounts {
+		for _, jobs := range jobCounts {
+			for _, schedName := range schedulers {
+				entry, err := scaleBenchCell(schedName, jobs, servers, seed)
+				if err != nil {
+					return err
+				}
+				report.Entries = append(report.Entries, entry)
+				fmt.Printf("scalebench %-7s jobs=%-7d servers=%-4d wall %8.2fs  %9.0f ns/decision  peak heap %7.1f MB\n",
+					schedName, jobs, servers, entry.WallSeconds, entry.NsPerDecision, entry.PeakHeapMB)
+			}
+		}
+	}
+	report.Headline = scaleHeadline(report.Entries)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s -> %s\n", "scalebench", path)
+	if report.Headline != "" {
+		fmt.Println(report.Headline)
+	}
+	return nil
+}
+
+// phillyDuration returns the arrival window that reproduces the real
+// Philly trace's submission density — 117,325 jobs over 18 weeks on
+// 2474 GPUs — rescaled to the cell's GPU count. At this density the
+// cluster keeps up with arrivals, so the live-job population is set by
+// the workload's natural concurrency, not by an ever-growing backlog;
+// that is the regime in which ns-per-decision isolates the scheduler's
+// per-decision cost. (DurationForCluster's pressure calibration is ~30×
+// denser: it measures behaviour under sustained overload, where cost is
+// dominated by backlog length and grows with total submissions.)
+func phillyDuration(jobs, gpus int) float64 {
+	const phillyJobSpacingSec = 18 * 7 * 24 * 3600.0 / 117_325 // ≈92.8 s per job at 2474 GPUs
+	return float64(jobs) * phillyJobSpacingSec * 2474 / float64(gpus)
+}
+
+// scaleBenchCell runs one cell under a heap-watermark sampler.
+func scaleBenchCell(schedName string, jobs, servers int, seed int64) (scaleBenchEntry, error) {
+	gpus := servers * 4
+	opts := mlfs.Options{
+		Scheduler:     schedName,
+		Seed:          seed,
+		SchedOpts:     mlfs.SchedulerOptions{Seed: seed},
+		Servers:       servers,
+		GPUsPerServer: 4,
+		Source:        mlfs.SyntheticPhillySource(jobs, seed, phillyDuration(jobs, gpus)),
+	}
+	stop, peak := watchHeap()
+	runtime.GC()
+	start := time.Now()
+	res, err := mlfs.Run(opts)
+	wall := time.Since(start)
+	stop()
+	if err != nil {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d: %w", schedName, jobs, servers, err)
+	}
+	c := res.Counters
+	decisions := c.Placements + c.Migrations + c.Evictions + c.SchedRounds
+	entry := scaleBenchEntry{
+		Scheduler:     schedName,
+		Jobs:          jobs,
+		Servers:       servers,
+		GPUs:          gpus,
+		WallSeconds:   wall.Seconds(),
+		Decisions:     decisions,
+		PeakHeapMB:    float64(peak.Load()) / (1 << 20),
+		SimulatedDays: c.SimulatedSec / 86400,
+		AvgJCTMin:     res.AvgJCTSec / 60,
+		Completed:     res.Jobs - c.Truncated - c.Rejected,
+		Truncated:     c.Truncated,
+		Rejected:      c.Rejected,
+	}
+	if decisions > 0 {
+		entry.NsPerDecision = float64(wall.Nanoseconds()) / float64(decisions)
+	}
+	return entry, nil
+}
+
+// watchHeap samples the live-heap watermark until stop is called. The
+// returned atomic holds the peak HeapAlloc observed (bytes) — an
+// in-process proxy for peak RSS that excludes GC headroom, comparable
+// across cells because every cell runs the same sampler.
+func watchHeap() (stop func(), peak *atomic.Uint64) {
+	peak = &atomic.Uint64{}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := peak.Load()
+			if ms.HeapAlloc <= old || peak.CompareAndSwap(old, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample()
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	return func() { close(done); <-finished }, peak
+}
+
+// humanCount renders a job count compactly (100000 -> "100k").
+func humanCount(n int) string {
+	if n >= 1000 && n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// scaleHeadline summarises the acceptance criterion: per-scheduler
+// ns-per-decision growth from the smallest to the largest job count on
+// the largest cluster.
+func scaleHeadline(entries []scaleBenchEntry) string {
+	maxServers, minJobs, maxJobs := 0, 0, 0
+	for _, e := range entries {
+		if e.Servers > maxServers {
+			maxServers = e.Servers
+		}
+		if minJobs == 0 || e.Jobs < minJobs {
+			minJobs = e.Jobs
+		}
+		if e.Jobs > maxJobs {
+			maxJobs = e.Jobs
+		}
+	}
+	if minJobs == maxJobs {
+		return ""
+	}
+	at := func(sched string, jobs int) float64 {
+		for _, e := range entries {
+			if e.Scheduler == sched && e.Jobs == jobs && e.Servers == maxServers {
+				return e.NsPerDecision
+			}
+		}
+		return 0
+	}
+	out := fmt.Sprintf("ns/decision growth %s->%s jobs at %d servers:", humanCount(minJobs), humanCount(maxJobs), maxServers)
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Scheduler] {
+			continue
+		}
+		seen[e.Scheduler] = true
+		small, big := at(e.Scheduler, minJobs), at(e.Scheduler, maxJobs)
+		if small > 0 && big > 0 {
+			out += fmt.Sprintf(" %s %.2fx", e.Scheduler, big/small)
+		}
+	}
+	return out
+}

@@ -106,8 +106,12 @@ func main() {
 	if _, err := os.Stat(faultPath); err != nil {
 		faultPath = ""
 	}
-	if len(paths) == 0 && faultPath == "" {
-		fatal(fmt.Errorf("no TSV files or BENCH_fault.json in %s", *in))
+	scalePath := filepath.Join(*in, "BENCH_scale.json")
+	if _, err := os.Stat(scalePath); err != nil {
+		scalePath = ""
+	}
+	if len(paths) == 0 && faultPath == "" && scalePath == "" {
+		fatal(fmt.Errorf("no TSV files, BENCH_fault.json or BENCH_scale.json in %s", *in))
 	}
 	sort.Strings(paths)
 	var filter map[string]bool
@@ -140,6 +144,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(faultTable(ff))
+	}
+	// So does the scale benchmark, under the figure id "scale".
+	if scalePath != "" && (filter == nil || filter["scale"]) {
+		sf, err := parseScaleJSON(scalePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(scaleTable(sf))
 	}
 }
 

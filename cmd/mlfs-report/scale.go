@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// scaleEntry mirrors one cell of results/BENCH_scale.json as written by
+// mlfs-bench -scalebench: a (scheduler, jobs, servers) cell with its
+// per-decision cost and peak-heap watermark.
+type scaleEntry struct {
+	Scheduler     string  `json:"scheduler"`
+	Jobs          int     `json:"jobs"`
+	Servers       int     `json:"servers"`
+	GPUs          int     `json:"gpus"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Decisions     int     `json:"decisions"`
+	NsPerDecision float64 `json:"ns_per_decision"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+	SimulatedDays float64 `json:"simulated_days"`
+	Completed     int     `json:"completed"`
+	Truncated     int     `json:"truncated"`
+}
+
+// scaleFile is the envelope of BENCH_scale.json.
+type scaleFile struct {
+	Headline string       `json:"headline"`
+	Entries  []scaleEntry `json:"entries"`
+}
+
+func parseScaleJSON(path string) (*scaleFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf scaleFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(sf.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no entries", path)
+	}
+	return &sf, nil
+}
+
+// scaleTable renders the scale benchmark as one Markdown table: a row
+// per (scheduler, jobs, servers) cell, wall clock, per-decision cost
+// and peak heap side by side so the growth from 1k to 100k jobs reads
+// straight down a column.
+func scaleTable(sf *scaleFile) string {
+	var sb strings.Builder
+	sb.WriteString("### scale — per-decision cost and peak memory vs workload size\n\n")
+	if sf.Headline != "" {
+		fmt.Fprintf(&sb, "%s\n\n", sf.Headline)
+	}
+	sb.WriteString("| scheduler | jobs | servers | wall (s) | decisions | ns/decision | peak heap (MB) | sim days | completed | truncated |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, e := range sf.Entries {
+		fmt.Fprintf(&sb, "| %s | %d | %d | %.2f | %d | %.0f | %.1f | %.1f | %d | %d |\n",
+			e.Scheduler, e.Jobs, e.Servers, e.WallSeconds, e.Decisions,
+			e.NsPerDecision, e.PeakHeapMB, e.SimulatedDays, e.Completed, e.Truncated)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -503,13 +503,22 @@ func (c *Cluster) Fits(server, device int, demand Vec, gpuShare float64, hr floa
 // draws from this set, so excluding them here keeps all schedulers off
 // down machines without each policy knowing about failures.
 func (c *Cluster) Underloaded(hr float64) []int {
-	var out []int
+	return c.AppendUnderloaded(nil, hr)
+}
+
+// AppendUnderloaded is Underloaded into a caller-provided slice: the
+// candidate indices are appended to dst (usually dst[:0] of a reusable
+// scratch buffer) and the extended slice returned. Callers that query
+// candidates once per queued task — the gang-placement path — combine
+// this with the cluster epoch to skip both the rescan and the per-call
+// allocation while the cluster is unchanged.
+func (c *Cluster) AppendUnderloaded(dst []int, hr float64) []int {
 	for i, s := range c.servers {
 		if s.up && !s.Overloaded(hr) {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // Overloaded returns the indices of overloaded servers at threshold hr.

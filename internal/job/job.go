@@ -209,6 +209,25 @@ type Job struct {
 	// path. Zero until a simulator adopts the job.
 	SimIndex int
 
+	// SimSlot is the simulator's recycled per-job cache slot: unlike
+	// SimIndex it is bounded by the peak number of live jobs, not the
+	// total submission count, because retired jobs return their slot to a
+	// free list. -1 while the job holds no slot. Slot numbering is an
+	// implementation detail of one run — never serialized, never read by
+	// schedulers.
+	SimSlot int
+
+	// PlacedTasks counts the job's currently placed tasks, maintained by
+	// every placement/removal path (sched.Context, gang rollback, the
+	// simulator's finish/fail/fault paths). It lets per-tick scans skip
+	// jobs with nothing on the cluster without an O(tasks) lookup each.
+	PlacedTasks int
+
+	// DeadlineSnapped marks that AccuracyAtDeadline has been recorded
+	// (the deadline fell inside an executed tick, or the job finished
+	// first). Owned by the simulator.
+	DeadlineSnapped bool
+
 	State State
 	// Progress counts completed iterations, fractional during a tick.
 	Progress float64

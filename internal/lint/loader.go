@@ -53,6 +53,8 @@ var DeterministicPaths = []string{
 	"mlfs/internal/queue",
 	"mlfs/internal/nn",
 	"mlfs/internal/snapshot",
+	"mlfs/internal/trace",
+	"mlfs/internal/philly",
 }
 
 // Package is one loaded, parsed and type-checked package. Test files

@@ -22,6 +22,7 @@ import (
 type Counters struct {
 	BandwidthMB         float64 // cross-server training traffic + migration state
 	MigrationMB         float64 // migration component of BandwidthMB
+	Placements          int     // tasks placed by scheduling rounds
 	Migrations          int
 	Evictions           int
 	OverloadOccurrences int // server-ticks spent overloaded (Fig 8a)
@@ -63,47 +64,99 @@ type Result struct {
 // (§4.2.2: levels drawn from [1,10], urgent when > 8).
 const UrgentThreshold = 8
 
+// Tally is the per-job summary Compute folds over: everything a job
+// contributes to a Result, reduced to a few scalars. The simulator's
+// streaming mode records a Tally when it retires a job so the job object
+// itself can be dropped; ComputeFromTallies then reproduces Compute's
+// result bit-identically (identical fold order, identical float
+// operations) without the jobs ever coexisting in memory.
+type Tally struct {
+	// SimIndex orders the fold: Compute sums in jobs-slice order, which
+	// is the simulator's SimIndex (arrival) order, and float addition is
+	// not associative — so tallies recorded in finish order must be
+	// folded back in SimIndex order to land on the same bits.
+	SimIndex int
+
+	JCT     float64
+	Wait    float64
+	Acc     float64 // accuracy at deadline
+	Arrival float64
+	Finish  float64
+
+	DeadlineMet bool
+	AccMet      bool
+	Urgent      bool
+}
+
+// TallyOf reduces one finished job to its Result contribution.
+func TallyOf(j *job.Job) Tally {
+	return Tally{
+		SimIndex:    j.SimIndex,
+		JCT:         j.JCT(),
+		Wait:        j.WaitingTime,
+		Acc:         j.AccuracyAtDeadline,
+		Arrival:     j.Arrival,
+		Finish:      j.FinishTime,
+		DeadlineMet: j.DeadlineMet(),
+		AccMet:      j.AccuracyMet(),
+		Urgent:      j.Urgency > UrgentThreshold,
+	}
+}
+
 // Compute summarises jobs plus counters into a Result. Jobs that never
 // finished (truncated) count against every ratio and contribute their
 // elapsed time as JCT, so truncation can only hurt a scheduler, never
 // flatter it.
 func Compute(scheduler string, jobs []*job.Job, c Counters) *Result {
-	r := &Result{Scheduler: scheduler, Jobs: len(jobs), Counters: c}
-	if len(jobs) == 0 {
+	tallies := make([]Tally, len(jobs))
+	for i, j := range jobs {
+		tallies[i] = TallyOf(j)
+	}
+	return ComputeFromTallies(scheduler, tallies, c)
+}
+
+// ComputeFromTallies is Compute over pre-reduced per-job tallies. It
+// sorts by SimIndex first, so a tally set accumulated in any order (the
+// streaming simulator retires jobs in finish order) folds exactly like
+// Compute's jobs-slice loop. tallies is sorted in place.
+func ComputeFromTallies(scheduler string, tallies []Tally, c Counters) *Result {
+	r := &Result{Scheduler: scheduler, Jobs: len(tallies), Counters: c}
+	if len(tallies) == 0 {
 		return r
 	}
+	sort.Slice(tallies, func(i, k int) bool { return tallies[i].SimIndex < tallies[k].SimIndex })
 	var (
 		sumJCT, sumWait, sumAcc  float64
 		deadlineOK, accOK        int
 		urgent, urgentOK         int
 		firstArrival, lastFinish = math.Inf(1), 0.0
 	)
-	for _, j := range jobs {
-		jct := j.JCT()
-		r.JCTs = append(r.JCTs, jct)
-		sumJCT += jct
-		sumWait += j.WaitingTime
-		sumAcc += j.AccuracyAtDeadline
-		if j.DeadlineMet() {
+	for i := range tallies {
+		t := &tallies[i]
+		r.JCTs = append(r.JCTs, t.JCT)
+		sumJCT += t.JCT
+		sumWait += t.Wait
+		sumAcc += t.Acc
+		if t.DeadlineMet {
 			deadlineOK++
 		}
-		if j.AccuracyMet() {
+		if t.AccMet {
 			accOK++
 		}
-		if j.Urgency > UrgentThreshold {
+		if t.Urgent {
 			urgent++
-			if j.DeadlineMet() {
+			if t.DeadlineMet {
 				urgentOK++
 			}
 		}
-		if j.Arrival < firstArrival {
-			firstArrival = j.Arrival
+		if t.Arrival < firstArrival {
+			firstArrival = t.Arrival
 		}
-		if j.FinishTime > lastFinish {
-			lastFinish = j.FinishTime
+		if t.Finish > lastFinish {
+			lastFinish = t.Finish
 		}
 	}
-	n := float64(len(jobs))
+	n := float64(len(tallies))
 	r.AvgJCTSec = sumJCT / n
 	r.AvgWaitSec = sumWait / n
 	r.AvgAccuracy = sumAcc / n

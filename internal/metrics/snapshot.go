@@ -8,6 +8,7 @@ import "mlfs/internal/snapshot"
 func (c *Counters) EncodeState(w *snapshot.Writer) {
 	w.Float64(c.BandwidthMB)
 	w.Float64(c.MigrationMB)
+	w.Int(c.Placements)
 	w.Int(c.Migrations)
 	w.Int(c.Evictions)
 	w.Int(c.OverloadOccurrences)
@@ -28,6 +29,7 @@ func (c *Counters) EncodeState(w *snapshot.Writer) {
 func (c *Counters) DecodeState(r *snapshot.Reader) error {
 	c.BandwidthMB = r.Float64()
 	c.MigrationMB = r.Float64()
+	c.Placements = r.Int()
 	c.Migrations = r.Int()
 	c.Evictions = r.Int()
 	c.OverloadOccurrences = r.Int()

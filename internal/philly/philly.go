@@ -20,9 +20,11 @@
 //
 // Determinism: loading is a pure function of the trace file bytes and
 // Options.Seed — fields the trace lacks are sampled from a seeded
-// source, so repeated loads yield identical workloads. The package is
-// not in the lint DeterministicPaths registry; the repo-wide epochguard,
-// floatcmp and pkgdoc checks still apply.
+// source, so repeated loads yield identical workloads; the synthetic
+// source (synth.go) is a pure function of (seed, index). The package is
+// enrolled in the lint DeterministicPaths registry (mapiter, noclock,
+// sharedcapture), plus the repo-wide epochguard, floatcmp and pkgdoc
+// checks.
 package philly
 
 import (

@@ -8,6 +8,24 @@ import "mlfs/internal/job"
 // observes the partial placements of earlier tasks of the same job.
 type ServerChooser func(ctx *Context, t *job.Task, candidates []int) (server, device int, ok bool)
 
+// underloadedCandidates returns the underloaded-server set for the
+// current HR, memoised by cluster epoch. Every cluster mutation bumps
+// the epoch, so a hit is exactly the set a fresh scan would produce;
+// choosers receive the shared scratch slice and must not mutate it
+// (FirstFit and LeastLoadedFit read it; policy choosers copy before
+// filtering or sorting).
+func (c *Context) underloadedCandidates() []int {
+	ep := c.Cluster.Epoch()
+	if c.candValid && c.candEpoch == ep && c.candHR == c.HR { //mlfs:allow floatcmp memo key: any HR change, bitwise, must invalidate
+		return c.candScratch
+	}
+	c.candScratch = c.Cluster.AppendUnderloaded(c.candScratch[:0], c.HR)
+	c.candEpoch = ep
+	c.candHR = c.HR
+	c.candValid = true
+	return c.candScratch
+}
+
 // PlaceGang atomically places all given queued tasks using choose,
 // rolling everything back if any task cannot be hosted. It returns true
 // when the whole gang was placed.
@@ -23,11 +41,12 @@ func (c *Context) PlaceGang(tasks []*job.Task, choose ServerChooser) bool {
 		for _, t := range placed {
 			c.Cluster.Remove(t.ID.Ref())
 			c.waiting[t.ID] = t
+			t.Job.PlacedTasks--
 			c.Placements--
 		}
 	}
 	for _, t := range tasks {
-		cand := c.Cluster.Underloaded(c.HR)
+		cand := c.underloadedCandidates()
 		if len(cand) == 0 {
 			rollback()
 			return false

@@ -62,6 +62,17 @@ type Context struct {
 	waiting map[job.TaskID]*job.Task
 	byRef   map[cluster.TaskRef]*job.Task
 
+	// candScratch memoises the underloaded-candidate set by (cluster
+	// epoch, HR). Gang placement queries candidates once per queued task;
+	// while the cluster is untouched — every failed gang attempt in a
+	// backlog scan — the memo turns that from a server rescan plus an
+	// allocation per task into a slice reuse, making a full backlog pass
+	// O(backlog + servers) instead of O(backlog × servers).
+	candScratch []int
+	candEpoch   uint64
+	candHR      float64
+	candValid   bool
+
 	// Round feedback, filled by the simulator for reward-driven policies
 	// (MLF-RL, §3.4): jobs completed since the previous round and the
 	// cross-server traffic generated since then.
@@ -146,6 +157,26 @@ func (c *Context) IsWaiting(t *job.Task) bool {
 // TaskByRef resolves a cluster placement back to its task.
 func (c *Context) TaskByRef(r cluster.TaskRef) *job.Task { return c.byRef[r] }
 
+// AddJob indexes the tasks of a newly materialised job so TaskByRef can
+// resolve its placements — the streaming-admission counterpart of the
+// bulk index NewContext builds. Idempotent for already-indexed jobs.
+func (c *Context) AddJob(j *job.Job) {
+	for _, t := range j.Tasks {
+		c.byRef[t.ID.Ref()] = t
+	}
+}
+
+// ForgetJob drops a retired job's tasks from the task index. The
+// simulator calls it when a job leaves every hot set (finished or
+// killed, feedback delivered): without it the index grows with total
+// submissions rather than live jobs, which at trace scale is the
+// difference between a bounded map and millions of dead entries.
+func (c *Context) ForgetJob(j *job.Job) {
+	for _, t := range j.Tasks {
+		delete(c.byRef, t.ID.Ref())
+	}
+}
+
 // Place assigns queued task t to (server, device). It fails when t is not
 // queued or the indices are invalid.
 func (c *Context) Place(t *job.Task, server, device int) error {
@@ -156,6 +187,7 @@ func (c *Context) Place(t *job.Task, server, device int) error {
 		return err
 	}
 	delete(c.waiting, t.ID)
+	t.Job.PlacedTasks++
 	c.Placements++
 	return nil
 }
@@ -192,6 +224,7 @@ func (c *Context) Evict(t *job.Task) error {
 	}
 	t.QueuedAt = c.Now
 	c.waiting[t.ID] = t
+	t.Job.PlacedTasks--
 	c.Evictions++
 	return nil
 }

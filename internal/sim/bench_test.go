@@ -70,7 +70,7 @@ func BenchmarkIterationTime(b *testing.B) {
 	s := steadySim(b, 8, 1)
 	var j *job.Job
 	for _, cand := range s.active {
-		if s.cache[cand.SimIndex].valid {
+		if cand.SimSlot >= 0 && s.cache[cand.SimSlot].valid {
 			j = cand
 			break
 		}
@@ -87,7 +87,7 @@ func BenchmarkIterationTime(b *testing.B) {
 	b.Run("recompute", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			s.cache[j.SimIndex].valid = false
+			s.cache[j.SimSlot].valid = false
 			s.iterationCost(j)
 		}
 	})

@@ -94,6 +94,14 @@ func (s *Simulator) injectFailures() {
 		s.counters.ServerFailures++
 		evicted := s.cl.FailServer(srv)
 		s.counters.FailureEvictions += len(evicted)
+		// FailServer removed the placements behind the context's back;
+		// settle the per-job placed-task counts before any gated path
+		// (wobble, prepare) can read them.
+		for _, p := range evicted {
+			if t := s.ctx.TaskByRef(p.Task); t != nil {
+				t.Job.PlacedTasks--
+			}
+		}
 		s.handleEvictions(evicted)
 	}
 }
@@ -134,10 +142,14 @@ func (s *Simulator) failJob(j *job.Job) {
 	// Release surviving placements and pull queued tasks: nothing of
 	// this job may run or be scheduled until the backoff expires.
 	for _, t := range j.Tasks {
-		s.cl.Remove(t.ID.Ref())
+		if s.cl.Remove(t.ID.Ref()) != nil {
+			j.PlacedTasks--
+		}
 		delete(s.waiting, t.ID)
 	}
-	s.cache[j.SimIndex].valid = false
+	if j.SimSlot >= 0 {
+		s.cache[j.SimSlot].valid = false
+	}
 	j.Retries++
 	if j.Retries > s.cfg.Failures.MaxRetries {
 		s.counters.JobsKilled++
@@ -151,14 +163,34 @@ func (s *Simulator) failJob(j *job.Job) {
 	backoff := s.cfg.Failures.RetryBackoffSec * math.Pow(2, float64(j.Retries-1))
 	j.NextRetryAt = s.now + backoff
 	s.parked = append(s.parked, j)
+	if !s.cfg.DenseTicks {
+		s.pushRetry(j.NextRetryAt)
+	}
 }
 
 // releaseParked re-queues the tasks of parked jobs whose backoff has
 // expired. Parked order is the (deterministic) failure-event order, so
-// re-queue order is reproducible too.
+// re-queue order is reproducible too. In sparse mode the scan is gated
+// by the retry min-heap: until the earliest pending release falls due
+// the whole call is one comparison. A release is never late — a parked
+// job's NextRetryAt cannot change while parked (it holds no placements,
+// so it cannot fail again), so its heap entry is exact. The only
+// release-timing side effect the gate defers is dropping jobs finished
+// while parked (stopped by a load controller); they are pruned at the
+// next fired scan instead of the next tick, which no observable state
+// depends on — snapshots encode the parked list with finished jobs
+// filtered out for exactly this reason.
 func (s *Simulator) releaseParked() {
 	if len(s.parked) == 0 {
 		return
+	}
+	if !s.cfg.DenseTicks {
+		if len(s.retryHeap) == 0 || s.retryHeap[0] > s.now {
+			return
+		}
+		for len(s.retryHeap) > 0 && s.retryHeap[0] <= s.now {
+			s.popRetry()
+		}
 	}
 	keep := s.parked[:0]
 	for _, j := range s.parked {

@@ -43,10 +43,19 @@ import (
 	"mlfs/internal/trace"
 )
 
-// Config parameterises a simulation run.
+// Config parameterises a simulation run. Exactly one of Trace and
+// Source supplies the workload.
 type Config struct {
-	Cluster   cluster.Config
-	Trace     *trace.Trace
+	Cluster cluster.Config
+	// Trace is a fully materialised workload: every job is built up
+	// front. Peak memory is O(total submissions).
+	Trace *trace.Trace
+	// Source streams submissions one record at a time; jobs are
+	// materialised at admission and retired from every hot set when they
+	// finish, so peak memory is O(peak live jobs) — the Philly-scale
+	// ingestion path. A SliceSource over an arrival-sorted trace runs
+	// bit-identically to the same trace passed via Trace.
+	Source    trace.Source
 	Scheduler sched.Scheduler
 
 	// TickSec is the scheduling period (default 60 s, §4.1).
@@ -72,6 +81,15 @@ type Config struct {
 	// effects are applied in a serial merge in job order, so results are
 	// bit-identical for every worker count.
 	AdvanceWorkers int
+
+	// DenseTicks disables the sparse-core hot-set optimisations —
+	// per-job caches are fixed by SimIndex instead of recycled slots,
+	// finished jobs are never retired from the scheduler context's task
+	// index, the retry-release scan runs ungated every tick and the
+	// placed-task-count gates are off. Results are bit-identical either
+	// way (the cross-check suite proves it); dense mode exists as the
+	// correctness oracle and requires a materialised Trace.
+	DenseTicks bool
 
 	// Straggler injection (§3.3.3 notes stragglers from failing hardware
 	// and misconfiguration; handling them is the paper's future work,
@@ -136,6 +154,8 @@ func (c Config) withDefaults() Config {
 		dur := 7 * 24 * 3600.0
 		if c.Trace != nil && c.Trace.DurationSec > 0 {
 			dur = c.Trace.DurationSec
+		} else if c.Source != nil && c.Source.Duration() > 0 {
+			dur = c.Source.Duration()
 		}
 		c.MaxSimSec = dur + 30*24*3600
 	}
@@ -199,11 +219,26 @@ type Simulator struct {
 	cfg     Config
 	cl      *cluster.Cluster
 	sched   sched.Scheduler
-	jobs    []*job.Job // all jobs, arrival order
-	pending int        // index of next arrival in jobs
+	jobs    []*job.Job // all jobs in arrival order (trace mode; nil in source mode)
+	pending int        // jobs admitted or rejected so far; next arrival's SimIndex
+	total   int        // total submissions of the run (len(jobs) or src.Len())
 	active  []*job.Job // admitted, not done
 	waiting map[job.TaskID]*job.Task
 	now     float64
+
+	// Streaming ingestion (source mode): src is the record stream,
+	// srcRec/srcHave the one-record admission lookahead, nextTaskID the
+	// task-identity cursor (task IDs are assigned in stream order, so a
+	// SliceSource run reproduces the trace run's identities exactly),
+	// lastArrival enforces the source's nondecreasing-arrival contract,
+	// and tallies accumulates the per-job result metrics of retired jobs
+	// — the only per-job state that outlives retirement.
+	src         trace.Source
+	srcRec      trace.Record
+	srcHave     bool
+	nextTaskID  job.TaskID
+	lastArrival float64
+	tallies     []metrics.Tally
 
 	// admitOrder, when set, permutes a job's tasks before they are
 	// inserted into the waiting map. Test seam only: the determinism
@@ -212,9 +247,6 @@ type Simulator struct {
 	admitOrder func([]*job.Task) []*job.Task
 
 	counters metrics.Counters
-	// deadlineSnapped marks jobs whose accuracy-at-deadline is recorded,
-	// indexed by job.SimIndex.
-	deadlineSnapped []bool
 
 	// Round feedback handed to reward-driven schedulers. recentCompleted
 	// and recentSpare are double-buffered across rounds so the handoff
@@ -230,26 +262,43 @@ type Simulator struct {
 	// Fault injection (nil / unused when Config.Failures is zero).
 	// faults yields the deterministic failure/repair event stream;
 	// parked holds jobs sitting out their retry backoff, in
-	// failure-event order.
-	faults *cluster.FaultProcess
-	parked []*job.Job
+	// failure-event order. retryHeap (sparse mode, see events.go) gates
+	// the per-tick release scan on the earliest pending release.
+	faults    *cluster.FaultProcess
+	parked    []*job.Job
+	retryHeap []float64
 
 	// Hot-path state: one scheduling context reused for the whole run,
 	// per-job iteration-cost caches invalidated by server load epochs,
 	// scratch buffers recycled across ticks, and the advance worker pool.
+	// cache is indexed by job.SimSlot: in dense mode every job owns the
+	// slot equal to its SimIndex for the whole run; in sparse mode slots
+	// are assigned at admission and recycled through freeSlots at
+	// retirement, so the cache footprint tracks peak live jobs rather
+	// than total submissions.
 	ctx           *sched.Context
-	cache         []jobIterCache // indexed by job.SimIndex
-	adv           []advState     // indexed like active
+	cache         []jobIterCache
+	freeSlots     []int
+	adv           []advState // indexed like active
 	activeScratch []*job.Job
+	parkedScratch []*job.Job
 	workers       int
 	pool          *advancePool
 }
 
-// New materialises the trace and assembles a simulator.
+// New assembles a simulator: trace mode materialises the whole workload
+// up front; source mode only primes the stream and materialises jobs at
+// admission.
 func New(cfg Config) (*Simulator, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Trace == nil {
-		return nil, fmt.Errorf("sim: no trace")
+	if cfg.Trace == nil && cfg.Source == nil {
+		return nil, fmt.Errorf("sim: no trace or source")
+	}
+	if cfg.Trace != nil && cfg.Source != nil {
+		return nil, fmt.Errorf("sim: both Trace and Source set; pick one")
+	}
+	if cfg.DenseTicks && cfg.Source != nil {
+		return nil, fmt.Errorf("sim: DenseTicks requires a materialised Trace")
 	}
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: no scheduler")
@@ -265,32 +314,50 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, fmt.Errorf("sim: scheduler %q does not implement sched.Snapshotter", cfg.Scheduler.Name())
 		}
 	}
-	jobs, err := cfg.Trace.MaterializeAll()
-	if err != nil {
-		return nil, err
-	}
-	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
-	for i, j := range jobs {
-		j.SimIndex = i
-	}
 	workers := cfg.AdvanceWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cl := cluster.New(cfg.Cluster)
 	s := &Simulator{
-		cfg:             cfg,
-		cl:              cl,
-		sched:           cfg.Scheduler,
-		jobs:            jobs,
-		waiting:         make(map[job.TaskID]*job.Task),
-		deadlineSnapped: make([]bool, len(jobs)),
-		cache:           make([]jobIterCache, len(jobs)),
-		workers:         workers,
+		cfg:     cfg,
+		cl:      cl,
+		sched:   cfg.Scheduler,
+		waiting: make(map[job.TaskID]*job.Task),
+		workers: workers,
 	}
-	// One context serves every round; its task index covers all jobs of
-	// the run up front, and Reset re-primes the rest per tick.
-	s.ctx = sched.NewContext(0, cl, jobs, nil, cfg.HR, cfg.HS)
+	if cfg.Trace != nil {
+		jobs, err := cfg.Trace.MaterializeAll()
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+		for i, j := range jobs {
+			j.SimIndex = i
+			j.SimSlot = -1
+		}
+		if cfg.DenseTicks {
+			// Dense mode: every job owns the cache slot matching its
+			// SimIndex for the whole run.
+			for i, j := range jobs {
+				j.SimSlot = i
+			}
+			s.cache = make([]jobIterCache, len(jobs))
+		}
+		s.jobs = jobs
+		s.total = len(jobs)
+		// One context serves every round; its task index covers all jobs
+		// of the run up front, and Reset re-primes the rest per tick. In
+		// sparse mode retirement shrinks the index as jobs finish.
+		s.ctx = sched.NewContext(0, cl, jobs, nil, cfg.HR, cfg.HS)
+	} else {
+		cfg.Source.Reset()
+		s.src = cfg.Source
+		s.total = cfg.Source.Len()
+		// Source mode starts with an empty task index; admission adds
+		// each materialised job and retirement removes it.
+		s.ctx = sched.NewContext(0, cl, nil, nil, cfg.HR, cfg.HS)
+	}
 	if cfg.Failures.Enabled() {
 		f := cfg.Failures
 		s.faults = cluster.NewFaultProcess(cl.NumServers(), f.MTTFSec, f.MTTRSec, f.Seed)
@@ -308,20 +375,26 @@ func (s *Simulator) Run() (*metrics.Result, error) {
 	}
 	dt := s.cfg.TickSec
 	for {
-		s.admitArrivals()
-		if len(s.active) == 0 {
-			if s.pending >= len(s.jobs) {
-				break
-			}
-			// Idle: jump to the tick containing the next arrival.
-			next := s.jobs[s.pending].Arrival
-			if next > s.now+dt {
-				s.now = math.Floor(next/dt) * dt
-				s.admitArrivals()
+		if err := s.admitArrivals(); err != nil {
+			return nil, err
+		}
+		if !s.HasPendingEvents() {
+			break
+		}
+		// Quiescent skip: when the next event lies beyond the next tick —
+		// only possible while idle, with the horizon at the next arrival
+		// (events.go proves every other source inert) — jump straight to
+		// the tick containing it.
+		if next, ok := s.PeekNextEventTime(); ok && next > s.now+dt {
+			s.AdvanceTo(next)
+			if err := s.admitArrivals(); err != nil {
+				return nil, err
 			}
 		}
 		if s.now >= s.cfg.MaxSimSec {
-			s.truncate()
+			if err := s.truncate(); err != nil {
+				return nil, err
+			}
 			break
 		}
 		s.step(dt)
@@ -336,7 +409,19 @@ func (s *Simulator) Run() (*metrics.Result, error) {
 		}
 	}
 	s.counters.SimulatedSec = s.now
-	return metrics.Compute(s.sched.Name(), s.jobs, s.counters), nil
+	return s.result(), nil
+}
+
+// result computes the final metrics: trace mode folds over the full job
+// slice exactly as always; source mode folds the tallies accumulated at
+// retirement, which metrics.ComputeFromTallies orders by SimIndex so
+// the float summation order — and hence every aggregate bit — matches
+// the trace-mode fold over the same workload.
+func (s *Simulator) result() *metrics.Result {
+	if s.src != nil {
+		return metrics.ComputeFromTallies(s.sched.Name(), s.tallies, s.counters)
+	}
+	return metrics.Compute(s.sched.Name(), s.jobs, s.counters)
 }
 
 // step executes one scheduler tick: failure/repair events, then demand
@@ -363,20 +448,76 @@ func (s *Simulator) step(dt float64) {
 	s.now += dt
 }
 
+// peekArrival returns the arrival time of the next un-admitted
+// submission without consuming it, unifying the two ingestion paths:
+// trace mode reads the pending cursor, source mode holds a one-record
+// lookahead buffer.
+func (s *Simulator) peekArrival() (at float64, ok bool) {
+	if s.src == nil {
+		if s.pending >= len(s.jobs) {
+			return 0, false
+		}
+		return s.jobs[s.pending].Arrival, true
+	}
+	if !s.srcHave {
+		rec, more := s.src.Next()
+		if !more {
+			return 0, false
+		}
+		s.srcRec, s.srcHave = rec, true
+	}
+	return s.srcRec.ArrivalSec, true
+}
+
+// nextArrival consumes the submission peekArrival exposed, materialising
+// it in source mode. SimIndex is assigned in stream order and the task
+// identity cursor advances exactly as trace.MaterializeAll's does over
+// an arrival-sorted trace, which is what makes the two ingestion paths
+// bit-identical.
+func (s *Simulator) nextArrival() (*job.Job, error) {
+	if s.src == nil {
+		j := s.jobs[s.pending]
+		s.pending++
+		return j, nil
+	}
+	if s.srcRec.ArrivalSec < s.lastArrival {
+		return nil, fmt.Errorf("sim: source violates arrival order: job %d at %gs after %gs",
+			s.srcRec.JobID, s.srcRec.ArrivalSec, s.lastArrival)
+	}
+	j, err := trace.Materialize(s.srcRec, &s.nextTaskID)
+	if err != nil {
+		return nil, fmt.Errorf("sim: job %d: %w", s.srcRec.JobID, err)
+	}
+	j.SimIndex = s.pending
+	j.SimSlot = -1
+	s.lastArrival = s.srcRec.ArrivalSec
+	s.srcHave = false
+	s.pending++
+	return j, nil
+}
+
 // admitArrivals moves newly arrived jobs into the active set and queues
 // their tasks. Jobs that can never fit the cluster (more GPU tasks than
 // the cluster has GPUs) are rejected at admission, as a real cluster
 // would: they count as deadline-missed with zero accuracy for every
-// scheduler alike.
-func (s *Simulator) admitArrivals() {
-	for s.pending < len(s.jobs) && s.jobs[s.pending].Arrival <= s.now {
-		j := s.jobs[s.pending]
-		s.pending++
+// scheduler alike. It only fails in source mode, on a corrupt or
+// misordered record stream.
+func (s *Simulator) admitArrivals() error {
+	for {
+		at, ok := s.peekArrival()
+		if !ok || at > s.now {
+			return nil
+		}
+		j, err := s.nextArrival()
+		if err != nil {
+			return err
+		}
 		if j.GPUsRequested() > s.cl.NumGPUs() {
 			j.State = job.Stopped
 			j.FinishTime = math.Max(j.Deadline, j.Arrival)
-			s.deadlineSnapped[j.SimIndex] = true
+			j.DeadlineSnapped = true
 			s.counters.Rejected++
+			s.retire(j)
 			continue
 		}
 		j.State = job.Pending
@@ -388,7 +529,69 @@ func (s *Simulator) admitArrivals() {
 			t.QueuedAt = s.now
 			s.waiting[t.ID] = t
 		}
+		if !s.cfg.DenseTicks {
+			if s.src != nil {
+				s.ctx.AddJob(j)
+			}
+			// Slots are handed out here, serially in admission order, so
+			// the parallel prepare phase never touches the free list.
+			s.assignSlot(j)
+		}
 		s.active = append(s.active, j)
+	}
+}
+
+// assignSlot gives j a recycled cache slot (sparse mode; dense slots
+// are fixed at construction).
+func (s *Simulator) assignSlot(j *job.Job) {
+	if j.SimSlot >= 0 {
+		return
+	}
+	if n := len(s.freeSlots); n > 0 {
+		j.SimSlot = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return
+	}
+	j.SimSlot = len(s.cache)
+	s.cache = append(s.cache, jobIterCache{})
+}
+
+// freeSlot returns j's cache slot to the free list, keeping the slot's
+// scratch buffers for the next tenant.
+func (s *Simulator) freeSlot(j *job.Job) {
+	if j.SimSlot < 0 {
+		return
+	}
+	s.cache[j.SimSlot].valid = false
+	s.freeSlots = append(s.freeSlots, j.SimSlot)
+	j.SimSlot = -1
+}
+
+// cacheEntry resolves j's iteration-cost cache entry, lazily assigning
+// a slot for jobs driven outside the admission path (tests probing
+// iterationCost directly). Within a run every active job already holds
+// a slot, so the parallel prepare phase never reaches the lazy branch.
+func (s *Simulator) cacheEntry(j *job.Job) *jobIterCache {
+	if j.SimSlot < 0 {
+		s.assignSlot(j)
+	}
+	return &s.cache[j.SimSlot]
+}
+
+// retire removes a finalised job from every hot set (sparse mode): the
+// scheduler context's task index, the recycled cache slot and — in
+// source mode — the job object itself, surviving only as a metrics
+// tally. Per-decision cost and memory then track live jobs, not total
+// submissions. The job object stays valid for anyone still holding it
+// (the completed-jobs feedback buffer, a scheduler's staged rewards).
+func (s *Simulator) retire(j *job.Job) {
+	if s.cfg.DenseTicks {
+		return
+	}
+	s.ctx.ForgetJob(j)
+	s.freeSlot(j)
+	if s.src != nil {
+		s.tallies = append(s.tallies, metrics.TallyOf(j))
 	}
 }
 
@@ -409,6 +612,12 @@ func (s *Simulator) wobbleDemands() {
 		return
 	}
 	for _, j := range s.active {
+		// Sparse mode: a job with nothing placed has nothing to wobble —
+		// every Lookup below would miss. Skipping it is a pure no-op that
+		// keeps the scan proportional to placed jobs, not admitted jobs.
+		if !s.cfg.DenseTicks && j.PlacedTasks == 0 {
+			continue
+		}
 		for _, t := range j.Tasks {
 			p := s.cl.Lookup(t.ID.Ref())
 			if p == nil {
@@ -441,6 +650,7 @@ func (s *Simulator) runScheduler() {
 	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock telemetry: wall-time counter only; zeroed by the determinism tests
 	s.counters.SchedRounds++
 
+	s.counters.Placements += s.ctx.Placements
 	s.counters.Migrations += s.ctx.Migrations
 	s.counters.Evictions += s.ctx.Evictions
 	s.counters.BandwidthMB += s.ctx.MigratedMB
@@ -471,7 +681,7 @@ func (s *Simulator) pruneActive() {
 // value is served from the job's epoch-keyed cache when the load on every
 // server the job touches is unchanged since it was computed.
 func (s *Simulator) iterationCost(j *job.Job) (sec, crossMB float64) {
-	c := &s.cache[j.SimIndex]
+	c := s.cacheEntry(j)
 	if !(c.valid && s.cacheFresh(c)) {
 		if !s.computeIterCost(j, c) {
 			return math.Inf(1), 0
@@ -647,7 +857,7 @@ func (s *Simulator) advance(dt float64) {
 			j.State = job.Running
 			j.EverPlaced = true
 		}
-		c := &s.cache[j.SimIndex]
+		c := s.cacheEntry(j)
 		if !(c.valid && s.cacheFresh(c)) {
 			// A job finishing earlier in this merge freed resources on a
 			// server this job touches; observe the post-finish state just
@@ -693,7 +903,18 @@ func (s *Simulator) advance(dt float64) {
 // fully placed and, if so, its iteration cost (via the cache).
 func (s *Simulator) prepare(i int) {
 	j := s.active[i]
-	c := &s.cache[j.SimIndex]
+	if !s.cfg.DenseTicks && j.PlacedTasks != len(j.Tasks) {
+		// Sparse mode: not fully placed, so no progress this tick — skip
+		// the per-task Lookup walk computeIterCost would spend proving
+		// it. The cache entry is deliberately left untouched: if it is
+		// still marked valid it is stale, but every eviction bumps the
+		// evicted server's epoch and epochs only increase, so the entry
+		// can never pass the freshness check again before being
+		// recomputed on the job's next full placement.
+		s.adv[i].fully = false
+		return
+	}
+	c := s.cacheEntry(j)
 	if c.valid && s.cacheFresh(c) {
 		s.adv[i].fully = true
 		return
@@ -795,7 +1016,7 @@ func (s *Simulator) observe(j *job.Job, oldProgress float64) {
 // this tick. delta is the progress made during the tick, used to
 // interpolate the iteration count at the deadline instant.
 func (s *Simulator) snapDeadline(j *job.Job, dt, delta float64) {
-	if s.deadlineSnapped[j.SimIndex] || j.Deadline > s.now+dt {
+	if j.DeadlineSnapped || j.Deadline > s.now+dt {
 		return
 	}
 	frac := 0.0
@@ -808,24 +1029,29 @@ func (s *Simulator) snapDeadline(j *job.Job, dt, delta float64) {
 		iters = j.MaxIterations
 	}
 	j.AccuracyAtDeadline = j.Curve.Accuracy(iters)
-	s.deadlineSnapped[j.SimIndex] = true
+	j.DeadlineSnapped = true
 }
 
-// finishJob finalises a job: frees resources, stamps outcome fields.
+// finishJob finalises a job: frees resources, stamps outcome fields and
+// retires it from the hot sets (sparse mode). The job stays reachable
+// through recentCompleted until its feedback is delivered.
 func (s *Simulator) finishJob(j *job.Job, at float64, state job.State) {
 	for _, t := range j.Tasks {
-		s.cl.Remove(t.ID.Ref())
+		if s.cl.Remove(t.ID.Ref()) != nil {
+			j.PlacedTasks--
+		}
 		delete(s.waiting, t.ID)
 	}
 	j.State = state
 	j.FinishTime = at
 	s.recentCompleted = append(s.recentCompleted, j)
-	if !s.deadlineSnapped[j.SimIndex] {
+	if !j.DeadlineSnapped {
 		// Finished before the deadline: accuracy by deadline is the final
 		// accuracy (training stops at completion).
 		j.AccuracyAtDeadline = j.Accuracy()
-		s.deadlineSnapped[j.SimIndex] = true
+		j.DeadlineSnapped = true
 	}
+	s.retire(j)
 }
 
 // countOverloads accumulates the number of overloaded servers this tick
@@ -838,19 +1064,44 @@ func (s *Simulator) countOverloads() {
 	}
 }
 
-// truncate force-finishes everything still live at the horizon.
-func (s *Simulator) truncate() {
-	for s.pending < len(s.jobs) {
-		j := s.jobs[s.pending]
-		s.pending++
-		j.State = job.Pending
-		s.active = append(s.active, j)
+// truncate force-finishes everything still live at the horizon: first
+// the active jobs in list order, then every not-yet-admitted submission
+// in arrival order — the same total order the materialised path has
+// always used. In source mode the remaining records are drained one at
+// a time, each materialised, stopped and retired before the next is
+// read, so truncation never holds more than one un-admitted job.
+func (s *Simulator) truncate() error {
+	if s.src == nil {
+		for s.pending < len(s.jobs) {
+			j := s.jobs[s.pending]
+			s.pending++
+			j.State = job.Pending
+			s.active = append(s.active, j)
+		}
+		for _, j := range s.active {
+			s.finishJob(j, s.cfg.MaxSimSec, job.Stopped)
+			s.counters.Truncated++
+		}
+		s.active = nil
+		return nil
 	}
 	for _, j := range s.active {
 		s.finishJob(j, s.cfg.MaxSimSec, job.Stopped)
 		s.counters.Truncated++
 	}
 	s.active = nil
+	for {
+		if _, ok := s.peekArrival(); !ok {
+			return nil
+		}
+		j, err := s.nextArrival()
+		if err != nil {
+			return err
+		}
+		j.State = job.Pending
+		s.finishJob(j, s.cfg.MaxSimSec, job.Stopped)
+		s.counters.Truncated++
+	}
 }
 
 // Now returns the current simulation time (exposed for tests).

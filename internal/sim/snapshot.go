@@ -6,8 +6,10 @@ import (
 	"sort"
 
 	"mlfs/internal/job"
+	"mlfs/internal/metrics"
 	"mlfs/internal/sched"
 	"mlfs/internal/snapshot"
+	"mlfs/internal/trace"
 )
 
 // This file is the simulator's crash-consistent snapshot layer. A
@@ -21,12 +23,27 @@ import (
 // interrupted.
 //
 // What is deliberately NOT captured: everything recomputable from the
-// base state. Static job/trace structure is re-materialised by New from
-// the same trace (deterministically); the iteration-cost caches, server
-// utilisation memos and Predictor fit memos are dropped and recomputed
-// to the exact same float64s; scratch buffers and worker pools are
-// rebuilt on use. Epoch values after restore differ from the original
-// run — they only key caches, which start invalid.
+// base state. Static job/trace structure is re-materialised from the
+// same trace or re-streamed from the same source (deterministically);
+// the iteration-cost caches, cache-slot assignments, retry-release heap,
+// server utilisation memos and Predictor fit memos are dropped and
+// recomputed to the exact same float64s; scratch buffers and worker
+// pools are rebuilt on use. Epoch values after restore differ from the
+// original run — they only key caches, which start invalid.
+//
+// Two per-job layouts share the surrounding structure. Trace mode
+// encodes every job of the run, retired or not — the job slice exists
+// anyway. Source mode cannot (only live jobs are materialised), so it
+// encodes the retirement tallies plus the live set — active jobs and
+// the completed-feedback buffer, parked included (parked ⊆ active) —
+// keyed by SimIndex; Restore re-streams the source's first `pending`
+// records to rebuild exactly the live jobs (task-identity cursor
+// included) and drops the rest as they pass, so restore memory is
+// O(live), not O(total). The parked list is encoded with
+// finished-while-parked jobs filtered out, because the tick at which
+// those are pruned is the one roster detail the sparse retry gate
+// shifts; filtering makes equal states encode to equal bytes in both
+// modes.
 
 // Snapshot serialises the full dynamic state. It fails only when the
 // scheduler does not implement sched.Snapshotter.
@@ -42,14 +59,26 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	w.Int(s.pending)
 	w.Float64(s.lastBWMark)
 	s.counters.EncodeState(w)
-	for _, b := range s.deadlineSnapped {
-		w.Bool(b)
-	}
-	for _, j := range s.jobs {
-		encodeJob(w, j)
+	if s.src == nil {
+		for _, j := range s.jobs {
+			encodeJob(w, j)
+		}
+	} else {
+		w.Int(len(s.tallies))
+		for i := range s.tallies {
+			encodeTally(w, &s.tallies[i])
+		}
+		live := s.liveJobs()
+		w.Int(len(live))
+		for _, j := range live {
+			w.Int(j.SimIndex)
+		}
+		for _, j := range live {
+			encodeJob(w, j)
+		}
 	}
 	encodeJobList(w, s.active)
-	encodeJobList(w, s.parked)
+	encodeJobList(w, s.livingParked())
 	encodeJobList(w, s.recentCompleted)
 	// Waiting-set membership only, in sorted task-id order: schedulers
 	// consume the queue through the sorted Context.Waiting() accessor, so
@@ -74,13 +103,38 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// liveJobs returns the jobs whose state must be encoded individually in
+// source mode: the active set plus the completed-feedback buffer. The
+// two are disjoint (completed jobs are Done and pruned from active), and
+// parked jobs are already in active.
+func (s *Simulator) liveJobs() []*job.Job {
+	live := make([]*job.Job, 0, len(s.active)+len(s.recentCompleted))
+	live = append(live, s.active...)
+	live = append(live, s.recentCompleted...)
+	return live
+}
+
+// livingParked filters finished jobs out of the parked list for
+// encoding (see the file comment).
+func (s *Simulator) livingParked() []*job.Job {
+	out := s.parkedScratch[:0]
+	for _, j := range s.parked {
+		if !j.Done() {
+			out = append(out, j)
+		}
+	}
+	s.parkedScratch = out
+	return out
+}
+
 // Restore overlays a Snapshot payload onto a freshly constructed,
 // never-stepped simulator whose Config matches the snapshotted run
-// (same trace, cluster, scheduler and simulation parameters —
-// AdvanceWorkers and snapshot/stop settings are free to differ; results
-// are bit-identical for any worker count). On any error — ErrMismatch
-// for a snapshot of a different run, ErrCorrupt for undecodable bytes —
-// the simulator is left partially overwritten and must be discarded.
+// (same trace or source, cluster, scheduler and simulation parameters —
+// AdvanceWorkers, DenseTicks and snapshot/stop settings are free to
+// differ; results are bit-identical for any worker count and either
+// tick mode). On any error — ErrMismatch for a snapshot of a different
+// run, ErrCorrupt for undecodable bytes — the simulator is left
+// partially overwritten and must be discarded.
 func (s *Simulator) Restore(payload []byte) error {
 	snapper, ok := s.sched.(sched.Snapshotter)
 	if !ok {
@@ -97,25 +151,30 @@ func (s *Simulator) Restore(payload []byte) error {
 	if err := s.counters.DecodeState(r); err != nil {
 		return err
 	}
-	if s.tick < 0 || s.pending < 0 || s.pending > len(s.jobs) {
-		return snapshot.Corruptf("cursor out of range: tick %d, pending %d of %d jobs", s.tick, s.pending, len(s.jobs))
+	if s.tick < 0 || s.pending < 0 || s.pending > s.total {
+		return snapshot.Corruptf("cursor out of range: tick %d, pending %d of %d jobs", s.tick, s.pending, s.total)
 	}
-	for i := range s.deadlineSnapped {
-		s.deadlineSnapped[i] = r.Bool()
-	}
-	for _, j := range s.jobs {
-		if err := decodeJob(r, j); err != nil {
+	var byIndex map[int]*job.Job
+	if s.src == nil {
+		for _, j := range s.jobs {
+			if err := decodeJob(r, j); err != nil {
+				return err
+			}
+		}
+	} else {
+		var err error
+		if byIndex, err = s.restoreLiveJobs(r); err != nil {
 			return err
 		}
 	}
 	var err error
-	if s.active, err = s.decodeJobList(r, s.active); err != nil {
+	if s.active, err = s.decodeJobList(r, s.active, byIndex); err != nil {
 		return err
 	}
-	if s.parked, err = s.decodeJobList(r, s.parked); err != nil {
+	if s.parked, err = s.decodeJobList(r, s.parked, byIndex); err != nil {
 		return err
 	}
-	if s.recentCompleted, err = s.decodeJobList(r, s.recentCompleted); err != nil {
+	if s.recentCompleted, err = s.decodeJobList(r, s.recentCompleted, byIndex); err != nil {
 		return err
 	}
 	n := r.Len()
@@ -152,7 +211,107 @@ func (s *Simulator) Restore(payload []byte) error {
 	if err := snapper.DecodeState(r); err != nil {
 		return err
 	}
-	return r.Finish()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	// Rebuild the derived sparse-mode structures the snapshot deliberately
+	// omits: cache slots for the restored active set (assigned serially
+	// here so the first parallel prepare never touches the free list) and
+	// the retry-release heap, one entry per parked job at its exact
+	// release time.
+	if !s.cfg.DenseTicks {
+		for _, j := range s.active {
+			s.assignSlot(j)
+		}
+		s.retryHeap = s.retryHeap[:0]
+		for _, j := range s.parked {
+			s.pushRetry(j.NextRetryAt)
+		}
+	}
+	// Settle the placed-task counts from the restored cluster state.
+	for _, j := range s.active {
+		placed := 0
+		for _, t := range j.Tasks {
+			if s.cl.Lookup(t.ID.Ref()) != nil {
+				placed++
+			}
+		}
+		j.PlacedTasks = placed
+	}
+	return nil
+}
+
+// restoreLiveJobs rebuilds the source-mode live set: it decodes the
+// tallies and live-index list, then re-streams the source's consumed
+// prefix — materialising every record to advance the task-identity
+// cursor exactly as the original run did, keeping only the live indexes
+// and letting the rest go — and finally decodes each live job's dynamic
+// state. Returns the SimIndex → job map for decodeJobList.
+func (s *Simulator) restoreLiveJobs(r *snapshot.Reader) (map[int]*job.Job, error) {
+	nt := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.tallies = s.tallies[:0]
+	for i := 0; i < nt; i++ {
+		t, err := decodeTally(r)
+		if err != nil {
+			return nil, err
+		}
+		if t.SimIndex < 0 || t.SimIndex >= s.total {
+			return nil, snapshot.Corruptf("tally job index %d out of range [0,%d)", t.SimIndex, s.total)
+		}
+		s.tallies = append(s.tallies, t)
+	}
+	nl := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	liveSet := make(map[int]bool, nl)
+	liveOrder := make([]int, 0, nl)
+	for i := 0; i < nl; i++ {
+		idx := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx >= s.pending {
+			return nil, snapshot.Corruptf("live job index %d out of range [0,%d)", idx, s.pending)
+		}
+		if liveSet[idx] {
+			return nil, snapshot.Corruptf("live job index %d repeated", idx)
+		}
+		liveSet[idx] = true
+		liveOrder = append(liveOrder, idx)
+	}
+	s.src.Reset()
+	s.nextTaskID = 0
+	s.lastArrival = 0
+	s.srcHave = false
+	byIndex := make(map[int]*job.Job, nl)
+	for i := 0; i < s.pending; i++ {
+		rec, ok := s.src.Next()
+		if !ok {
+			return nil, snapshot.Corruptf("source ended at record %d, snapshot consumed %d", i, s.pending)
+		}
+		j, err := trace.Materialize(rec, &s.nextTaskID)
+		if err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", rec.JobID, err)
+		}
+		s.lastArrival = rec.ArrivalSec
+		if !liveSet[i] {
+			continue
+		}
+		j.SimIndex = i
+		j.SimSlot = -1
+		byIndex[i] = j
+		s.ctx.AddJob(j)
+	}
+	for _, idx := range liveOrder {
+		if err := decodeJob(r, byIndex[idx]); err != nil {
+			return nil, err
+		}
+	}
+	return byIndex, nil
 }
 
 // writeSnapshot persists the current state to cfg.SnapshotPath.
@@ -180,12 +339,16 @@ func (s *Simulator) fingerprintFloats() []float64 {
 }
 
 // encodeFingerprint writes the run identity the snapshot belongs to.
+// The ingestion mode is part of the identity: source-mode payloads
+// carry a different per-job layout, so restoring one into a trace-mode
+// simulator (or vice versa) must fail as a mismatch, not misparse.
 func (s *Simulator) encodeFingerprint(w *snapshot.Writer) {
 	w.String(s.sched.Name())
-	w.Int(len(s.jobs))
+	w.Int(s.total)
 	w.Int(s.cl.NumServers())
 	w.Int(s.cl.NumGPUs())
 	w.Bool(s.cfg.ReplicateStragglers)
+	w.Bool(s.src != nil)
 	w.Floats(s.fingerprintFloats())
 }
 
@@ -198,6 +361,7 @@ func (s *Simulator) checkFingerprint(r *snapshot.Reader) error {
 	servers := r.Int()
 	gpus := r.Int()
 	replicate := r.Bool()
+	sourceMode := r.Bool()
 	params := r.Floats()
 	if err := r.Err(); err != nil {
 		return err
@@ -205,12 +369,15 @@ func (s *Simulator) checkFingerprint(r *snapshot.Reader) error {
 	if name != s.sched.Name() {
 		return snapshot.Mismatchf("snapshot is of scheduler %q, run uses %q", name, s.sched.Name())
 	}
-	if jobs != len(s.jobs) || servers != s.cl.NumServers() || gpus != s.cl.NumGPUs() {
+	if jobs != s.total || servers != s.cl.NumServers() || gpus != s.cl.NumGPUs() {
 		return snapshot.Mismatchf("snapshot is of %d jobs on %d servers/%d GPUs, run has %d/%d/%d",
-			jobs, servers, gpus, len(s.jobs), s.cl.NumServers(), s.cl.NumGPUs())
+			jobs, servers, gpus, s.total, s.cl.NumServers(), s.cl.NumGPUs())
 	}
 	if replicate != s.cfg.ReplicateStragglers {
 		return snapshot.Mismatchf("snapshot straggler replication %v, run %v", replicate, s.cfg.ReplicateStragglers)
+	}
+	if sourceMode != (s.src != nil) {
+		return snapshot.Mismatchf("snapshot ingestion source-mode %v, run %v", sourceMode, s.src != nil)
 	}
 	want := s.fingerprintFloats()
 	if len(params) != len(want) {
@@ -228,13 +395,15 @@ func (s *Simulator) checkFingerprint(r *snapshot.Reader) error {
 
 // encodeJob writes one job's dynamic state. Static structure (tasks,
 // demands, curve, estimated runtime, deadlines) is re-materialised from
-// the trace and not written.
+// the trace or source and not written; SimSlot and PlacedTasks are
+// derived state, reassigned and recounted on restore.
 func encodeJob(w *snapshot.Writer, j *job.Job) {
 	w.Int(int(j.State))
 	w.Float64(j.Progress)
 	w.Float64(j.FinishTime)
 	w.Float64(j.WaitingTime)
 	w.Float64(j.AccuracyAtDeadline)
+	w.Bool(j.DeadlineSnapped)
 	w.Bool(j.EverPlaced)
 	w.Float64(j.CheckpointProgress)
 	w.Int(j.Retries)
@@ -258,6 +427,7 @@ func decodeJob(r *snapshot.Reader, j *job.Job) error {
 	finishTime := r.Float64()
 	waitingTime := r.Float64()
 	accAtDeadline := r.Float64()
+	deadlineSnapped := r.Bool()
 	everPlaced := r.Bool()
 	checkpoint := r.Float64()
 	retries := r.Int()
@@ -279,6 +449,7 @@ func decodeJob(r *snapshot.Reader, j *job.Job) error {
 	j.FinishTime = finishTime
 	j.WaitingTime = waitingTime
 	j.AccuracyAtDeadline = accAtDeadline
+	j.DeadlineSnapped = deadlineSnapped
 	j.EverPlaced = everPlaced
 	j.CheckpointProgress = checkpoint
 	j.Retries = retries
@@ -291,6 +462,35 @@ func decodeJob(r *snapshot.Reader, j *job.Job) error {
 	return r.Err()
 }
 
+// encodeTally writes one retired job's metrics contribution.
+func encodeTally(w *snapshot.Writer, t *metrics.Tally) {
+	w.Int(t.SimIndex)
+	w.Float64(t.JCT)
+	w.Float64(t.Wait)
+	w.Float64(t.Acc)
+	w.Float64(t.Arrival)
+	w.Float64(t.Finish)
+	w.Bool(t.DeadlineMet)
+	w.Bool(t.AccMet)
+	w.Bool(t.Urgent)
+}
+
+// decodeTally reads one retired job's metrics contribution.
+func decodeTally(r *snapshot.Reader) (metrics.Tally, error) {
+	t := metrics.Tally{
+		SimIndex: r.Int(),
+		JCT:      r.Float64(),
+		Wait:     r.Float64(),
+		Acc:      r.Float64(),
+		Arrival:  r.Float64(),
+		Finish:   r.Float64(),
+	}
+	t.DeadlineMet = r.Bool()
+	t.AccMet = r.Bool()
+	t.Urgent = r.Bool()
+	return t, r.Err()
+}
+
 // encodeJobList writes an ordered job set as SimIndexes (order matters:
 // parked order is failure-event order, completed order is finish order).
 func encodeJobList(w *snapshot.Writer, jobs []*job.Job) {
@@ -301,26 +501,34 @@ func encodeJobList(w *snapshot.Writer, jobs []*job.Job) {
 }
 
 // decodeJobList reads an ordered job set into dst, validating indexes.
-func (s *Simulator) decodeJobList(r *snapshot.Reader, dst []*job.Job) ([]*job.Job, error) {
+// Trace mode resolves against the full job slice; source mode (byIndex
+// non-nil) against the restored live set.
+func (s *Simulator) decodeJobList(r *snapshot.Reader, dst []*job.Job, byIndex map[int]*job.Job) ([]*job.Job, error) {
 	n := r.Len()
 	if err := r.Err(); err != nil {
 		return dst, err
 	}
 	dst = dst[:0]
-	seen := make([]bool, len(s.jobs))
+	seen := make(map[int]bool, n)
 	for i := 0; i < n; i++ {
 		idx := r.Int()
 		if err := r.Err(); err != nil {
 			return dst, err
 		}
-		if idx < 0 || idx >= len(s.jobs) {
-			return dst, snapshot.Corruptf("job index %d out of range [0,%d)", idx, len(s.jobs))
-		}
 		if seen[idx] {
 			return dst, snapshot.Corruptf("job index %d repeated", idx)
 		}
 		seen[idx] = true
-		dst = append(dst, s.jobs[idx])
+		var j *job.Job
+		if byIndex != nil {
+			j = byIndex[idx]
+		} else if idx >= 0 && idx < len(s.jobs) {
+			j = s.jobs[idx]
+		}
+		if j == nil {
+			return dst, snapshot.Corruptf("job index %d out of range", idx)
+		}
+		dst = append(dst, j)
 	}
 	return dst, nil
 }

@@ -89,7 +89,13 @@ func TestChaosCrashReplay(t *testing.T) {
 // brand-new simulator (a fresh "process"), lets the last segment run to
 // completion, and compares against the golden uninterrupted run.
 func runChaos(t *testing.T, name string, workers int, mttf float64, seed int64) {
-	golden := runToEnd(t, chaosConfig(t, name, workers, mttf))
+	runChaosCfg(t, func() sim.Config { return chaosConfig(t, name, workers, mttf) }, seed)
+}
+
+// runChaosCfg is runChaos over an arbitrary config factory (called
+// fresh per segment, so segments never share schedulers or workloads).
+func runChaosCfg(t *testing.T, mkcfg func() sim.Config, seed int64) {
+	golden := runToEnd(t, mkcfg())
 
 	// Three distinct kill ticks, ascending. The snapshot cadence is
 	// coprime-ish to typical kill points, so most kills land between
@@ -108,7 +114,7 @@ func runChaos(t *testing.T, name string, workers int, mttf float64, seed int64) 
 
 	path := filepath.Join(t.TempDir(), "chaos.snap")
 	segment := func(stopAt int) *metrics.Result {
-		cfg := chaosConfig(t, name, workers, mttf)
+		cfg := mkcfg()
 		cfg.SnapshotEvery = snapEvery
 		cfg.SnapshotPath = path
 		cfg.StopAtTick = stopAt

@@ -31,6 +31,7 @@ import (
 // version key. Never update the hash under an existing key.
 var snapverPinned = map[uint32]uint64{
 	1: 0xd0e271c2a8167fb6,
+	2: 0x8fa799272be060c7,
 }
 
 // snapverRoots are the structs whose fields feed snapshot payloads,

@@ -12,9 +12,9 @@
 //
 // Determinism: generation draws every sample from one rand.Rand seeded
 // by GenConfig.Seed in a fixed order, and CSV round-trips preserve
-// workloads exactly. The package is not in the lint DeterministicPaths
-// registry; the repo-wide epochguard, floatcmp and pkgdoc checks still
-// apply.
+// workloads exactly. The package is enrolled in the lint
+// DeterministicPaths registry (mapiter, noclock, sharedcapture), plus
+// the repo-wide epochguard, floatcmp and pkgdoc checks.
 package trace
 
 import (
@@ -148,39 +148,51 @@ func Generate(cfg GenConfig) *Trace {
 
 	tr := &Trace{DurationSec: cfg.DurationSec}
 	for i := 0; i < cfg.Jobs; i++ {
-		fam := sampleFamily(rng)
-		comm := job.AllReduce
-		if rng.Float64() < cfg.PSFraction {
-			comm = job.ParameterServer
-		}
-		var opt learncurve.StopOption
-		x := rng.Float64()
-		switch {
-		case x < cfg.StopOptionWeights[0]:
-			opt = learncurve.RunToMaxIterations
-		case x < cfg.StopOptionWeights[0]+cfg.StopOptionWeights[1]:
-			opt = learncurve.OptStop
-		default:
-			opt = learncurve.StopAtTarget
-		}
-		tr.Records = append(tr.Records, Record{
-			JobID:            int64(i + 1),
-			ArrivalSec:       arrivals[i],
-			GPUs:             sampleGPUs(rng),
-			Family:           fam,
-			Comm:             comm,
-			Urgency:          1 + rng.Intn(cfg.UrgencyLevels),
-			TargetFrac:       0.70 + 0.22*rng.Float64(),
-			TrainDataMB:      100 + 900*rng.Float64(), // §4.1: U[100,1000] MB
-			CommVolPS:        50 + 50*rng.Float64(),   // §4.1: U[50,100] MB
-			CommVolWW:        50 + 50*rng.Float64(),
-			DeadlineSlackSec: (0.5 + 23.5*rng.Float64()) * 3600, // §4.1: U[0.5,24] h
-			StopOption:       opt,
-			AllowDowngrade:   rng.Float64() < 0.8,
-			Seed:             rng.Int63(),
-		})
+		tr.Records = append(tr.Records, SampleRecord(rng, cfg, int64(i+1), arrivals[i]))
 	}
 	return tr
+}
+
+// SampleRecord draws one job record's workload fields from rng with the
+// distributions of §4.1, stamping the given id and arrival. Generate
+// samples all records from a single sequential stream; streaming
+// generators (internal/philly's synthetic Philly-scale source) call it
+// with an independent per-record stream instead, so record i is a pure
+// function of (seed, i) and a trace never needs materialising. The draw
+// order is part of Generate's determinism contract — do not reorder.
+func SampleRecord(rng *rand.Rand, cfg GenConfig, id int64, arrivalSec float64) Record {
+	cfg = cfg.withDefaults()
+	fam := sampleFamily(rng)
+	comm := job.AllReduce
+	if rng.Float64() < cfg.PSFraction {
+		comm = job.ParameterServer
+	}
+	var opt learncurve.StopOption
+	x := rng.Float64()
+	switch {
+	case x < cfg.StopOptionWeights[0]:
+		opt = learncurve.RunToMaxIterations
+	case x < cfg.StopOptionWeights[0]+cfg.StopOptionWeights[1]:
+		opt = learncurve.OptStop
+	default:
+		opt = learncurve.StopAtTarget
+	}
+	return Record{
+		JobID:            id,
+		ArrivalSec:       arrivalSec,
+		GPUs:             sampleGPUs(rng),
+		Family:           fam,
+		Comm:             comm,
+		Urgency:          1 + rng.Intn(cfg.UrgencyLevels),
+		TargetFrac:       0.70 + 0.22*rng.Float64(),
+		TrainDataMB:      100 + 900*rng.Float64(), // §4.1: U[100,1000] MB
+		CommVolPS:        50 + 50*rng.Float64(),   // §4.1: U[50,100] MB
+		CommVolWW:        50 + 50*rng.Float64(),
+		DeadlineSlackSec: (0.5 + 23.5*rng.Float64()) * 3600, // §4.1: U[0.5,24] h
+		StopOption:       opt,
+		AllowDowngrade:   rng.Float64() < 0.8,
+		Seed:             rng.Int63(),
+	}
 }
 
 // Materialize converts a record into a runnable job. The per-record seed

@@ -57,6 +57,20 @@ type Options struct {
 	TraceDurationSec float64
 	// Trace supplies a pre-built workload, overriding Jobs/Seed.
 	Trace *Trace
+	// Source streams the workload one record at a time instead of
+	// materialising it up front, overriding Trace and Jobs/Seed. Records
+	// must arrive in nondecreasing ArrivalSec order (SyntheticPhillySource
+	// and NewSliceSource satisfy this by construction). With a source,
+	// peak memory tracks the number of concurrently live jobs, not the
+	// total submission count — the mode for Philly-scale runs.
+	Source TraceSource
+
+	// DenseTicks forces the historical dense tick loop: every tick
+	// executes, completed jobs stay in the scan sets, per-job caches are
+	// fixed-slot. Results are bit-identical to the default sparse
+	// event-driven core; the switch exists as a correctness oracle and
+	// for perf comparisons. Incompatible with Source.
+	DenseTicks bool
 
 	// Preset selects the cluster scale (default PaperReal). Servers and
 	// GPUsPerServer, when both non-zero, override the preset.
@@ -149,6 +163,27 @@ func GenerateTrace(n int, seed int64, durationSec float64) *Trace {
 	return trace.Generate(trace.GenConfig{Jobs: n, Seed: seed, DurationSec: durationSec})
 }
 
+// TraceSource streams a workload one record at a time (alias of the
+// internal interface). Set Options.Source to run without materialising
+// the whole trace.
+type TraceSource = trace.Source
+
+// SyntheticPhillySource builds a seeded, streaming Philly-scale
+// workload source: record i is a pure function of (seed, i), arrivals
+// follow the diurnal intensity of GenerateTrace over durationSec
+// (default: the Philly trace's 18 weeks), and no record slice is ever
+// materialised — memory stays flat at any job count.
+func SyntheticPhillySource(jobs int, seed int64, durationSec float64) TraceSource {
+	return philly.NewSynthetic(philly.SynthConfig{Jobs: jobs, Seed: seed, DurationSec: durationSec})
+}
+
+// NewSliceSource adapts a materialised Trace into a TraceSource
+// (arrival-sorted, as the streaming contract requires). A run over it
+// is bit-identical to the same run over the Trace directly.
+func NewSliceSource(t *Trace) TraceSource {
+	return trace.NewSliceSource(t)
+}
+
 // LoadTraceCSV reads a trace previously saved with SaveTraceCSV.
 func LoadTraceCSV(path string) (*Trace, error) {
 	f, err := os.Open(path)
@@ -196,9 +231,9 @@ func newSimulator(opts Options) (*sim.Simulator, error) {
 		}
 	}
 	tr := opts.Trace
-	if tr == nil {
+	if tr == nil && opts.Source == nil {
 		if opts.Jobs <= 0 {
-			return nil, fmt.Errorf("mlfs: no trace and no job count given")
+			return nil, fmt.Errorf("mlfs: no trace, no source and no job count given")
 		}
 		dur := opts.TraceDurationSec
 		if dur <= 0 {
@@ -209,6 +244,8 @@ func newSimulator(opts Options) (*sim.Simulator, error) {
 	return sim.New(sim.Config{
 		Cluster:             opts.clusterConfig(),
 		Trace:               tr,
+		Source:              opts.Source,
+		DenseTicks:          opts.DenseTicks,
 		Scheduler:           s,
 		TickSec:             opts.TickSec,
 		HR:                  opts.HR,
