@@ -3,12 +3,23 @@
 //
 // Usage:
 //
-//	mlfs-lint [-json] [-checks mapiter,noclock,...] [patterns...]
+//	mlfs-lint [-json] [-checks mapiter,noclock,...] [-stale-allows] [patterns...]
 //
 // Patterns follow the go tool ("./internal/...", "./cmd/mlfs-sim");
-// without arguments it covers ./internal/... and ./cmd/..., the surface
-// `make lint` and CI gate on. With -json it emits a machine-readable
-// report on stdout for external CI:
+// without arguments it covers ., ./internal/..., ./cmd/... and
+// ./examples/..., the surface `make lint` and CI gate on. All matched
+// packages are loaded together and analysed as one program: the
+// whole-module analyzers (snapstate, detflow) need cross-package call
+// graphs, so a partial pattern list narrows what they can see.
+//
+// With -stale-allows, //mlfs:allow directives that no longer suppress
+// anything are reported as findings (check "stale-allow"), keeping the
+// suppression inventory honest. Only directives naming checks that
+// actually ran are considered, so -checks subsets never produce false
+// staleness.
+//
+// With -json it emits a machine-readable report on stdout for external
+// CI:
 //
 //	{"module":"mlfs","findings":[{"check":"noclock","file":"internal/sim/sim.go",
 //	 "line":340,"column":11,"message":"..."}],"suppressed":2}
@@ -35,8 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	staleAllows := fs.Bool("stale-allows", false, "also report //mlfs:allow directives that suppress nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mlfs-lint [-json] [-checks names] [patterns...]\n\nchecks:\n")
+		fmt.Fprintf(stderr, "usage: mlfs-lint [-json] [-checks names] [-stale-allows] [patterns...]\n\nchecks:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -53,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
-		patterns = []string{"./internal/...", "./cmd/..."}
+		patterns = []string{".", "./internal/...", "./cmd/...", "./examples/..."}
 	}
 
 	root, err := lint.FindModuleRoot(".")
@@ -72,17 +84,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var findings []lint.Diagnostic
-	suppressed := 0
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		f, s := lint.RunPackage(pkg, analyzers)
-		findings = append(findings, f...)
-		suppressed += len(s)
+		pkgs = append(pkgs, pkg)
+	}
+	res := lint.Run(pkgs, analyzers)
+	findings := res.Findings
+	if *staleAllows {
+		findings = append(findings, res.StaleAllows...)
 	}
 
 	if *jsonOut {
@@ -90,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Module     string            `json:"module"`
 			Findings   []lint.Diagnostic `json:"findings"`
 			Suppressed int               `json:"suppressed"`
-		}{Module: loader.ModulePath, Findings: findings, Suppressed: suppressed}
+		}{Module: loader.ModulePath, Findings: findings, Suppressed: len(res.Suppressed)}
 		if report.Findings == nil {
 			report.Findings = []lint.Diagnostic{}
 		}

@@ -14,7 +14,8 @@ const dirtyFixture = "../../internal/lint/testdata/floatcmp"
 
 func TestRunCleanRepo(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"../../internal/...", "../../cmd/..."}, &stdout, &stderr); code != 0 {
+	args := []string{"-stale-allows", "../..", "../../internal/...", "../../cmd/...", "../../examples/..."}
+	if code := run(args, &stdout, &stderr); code != 0 {
 		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	if stdout.Len() != 0 {
@@ -76,6 +77,70 @@ func TestRunJSONCleanEmitsEmptyArray(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), `"findings": []`) {
 		t.Errorf("clean JSON must contain an empty findings array, not null:\n%s", stdout.String())
+	}
+}
+
+// TestRunStaleAllows drives the suppression-inventory check: the fixture's
+// dead //mlfs:allow directive is invisible by default and a finding with
+// -stale-allows.
+func TestRunStaleAllows(t *testing.T) {
+	const fixture = "../../internal/lint/testdata/staleallow"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("default run = %d, want 0 (stale directives are not findings without the flag)\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-stale-allows", fixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-stale-allows run = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "stale-allow") || !strings.Contains(out, "suppresses no floatcmp finding") {
+		t.Errorf("stale-allow diagnostic missing or unspecific:\n%s", out)
+	}
+}
+
+// TestRunJSONModuleAnalyzers pins the machine-readable shape of the
+// whole-module analyzers' diagnostics (external CI consumes this): the
+// detflow and snapstate fixtures must produce findings under their check
+// names, and a stale directive must surface as check "stale-allow".
+func TestRunJSONModuleAnalyzers(t *testing.T) {
+	type report struct {
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+		} `json:"findings"`
+	}
+	cases := []struct {
+		name  string
+		args  []string
+		check string
+	}{
+		{"detflow", []string{"-json", "-checks", "detflow", "../../internal/lint/testdata/detflow"}, "detflow"},
+		{"snapstate", []string{"-json", "-checks", "snapstate", "../../internal/lint/testdata/snapstate"}, "snapstate"},
+		{"stale-allow", []string{"-json", "-stale-allows", "../../internal/lint/testdata/staleallow"}, "stale-allow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 1 {
+				t.Fatalf("run = %d, want 1\nstderr: %s", code, stderr.String())
+			}
+			var rep report
+			if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+				t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+			}
+			if len(rep.Findings) == 0 {
+				t.Fatalf("expected %s findings", tc.check)
+			}
+			for _, f := range rep.Findings {
+				if f.Check != tc.check || f.File == "" || f.Line == 0 || f.Message == "" {
+					t.Errorf("incomplete or mis-attributed finding: %+v", f)
+				}
+			}
+		})
 	}
 }
 

@@ -27,8 +27,9 @@ type Placement struct {
 type Device struct {
 	id       int
 	capacity float64
-	load     float64             //mlfs:guarded
-	tasks    map[TaskRef]float64 //mlfs:guarded task -> gpu share
+	load     float64 //mlfs:guarded
+	//mlfs:derived rebuilt by RestoreState's placement replay
+	tasks map[TaskRef]float64 //mlfs:guarded task -> gpu share
 }
 
 // ID returns the device index within its server.
@@ -67,7 +68,8 @@ type Server struct {
 	capacity Vec
 	used     Vec //mlfs:guarded
 	devices  []*Device
-	tasks    map[TaskRef]*Placement //mlfs:guarded
+	//mlfs:derived rebuilt by RestoreState's placement replay
+	tasks map[TaskRef]*Placement //mlfs:guarded
 
 	// up marks the server in service. A failed server (fault injection,
 	// see FaultProcess) rejects placements and is excluded from the
@@ -80,19 +82,19 @@ type Server struct {
 	// server's load and invalidate with a single integer comparison
 	// instead of recomputing: the simulator keys its per-job iteration
 	// cost cache on the epochs of the servers the job touches.
-	epoch uint64
+	epoch uint64 //mlfs:derived re-bumped by RestoreState so every cache misses
 
 	// Epoch-keyed caches of the derived load quantities the schedulers
 	// probe many times per round. An entry is valid when its epoch field
 	// equals the server epoch; cache epochs start at ^0 so a fresh server
 	// (epoch 0) recomputes on first use.
-	utilAt Vec
-	utilEp uint64
-	normAt float64
-	normEp uint64
-	ovlAt  bool
-	ovlHR  float64
-	ovlEp  uint64
+	utilAt Vec     //mlfs:derived epoch-keyed cache, recomputed on first probe
+	utilEp uint64  //mlfs:derived epoch-keyed cache
+	normAt float64 //mlfs:derived epoch-keyed cache
+	normEp uint64  //mlfs:derived epoch-keyed cache
+	ovlAt  bool    //mlfs:derived epoch-keyed cache
+	ovlHR  float64 //mlfs:derived epoch-keyed cache
+	ovlEp  uint64  //mlfs:derived epoch-keyed cache
 }
 
 // ID returns the server index.
@@ -215,9 +217,9 @@ type Cluster struct {
 	// Server.Epoch. odegAt/odegEp memoise the cluster overload degree,
 	// which schedulers evaluate several times per round (it is a full
 	// scan over servers otherwise).
-	epoch  uint64
-	odegAt float64
-	odegEp uint64
+	epoch  uint64  //mlfs:derived re-bumped by RestoreState so the memo misses
+	odegAt float64 //mlfs:derived epoch-keyed memo of the overload degree
+	odegEp uint64  //mlfs:derived epoch-keyed memo
 }
 
 // Epoch returns the cluster-wide load epoch: a counter bumped by every

@@ -36,7 +36,7 @@ type MLFH struct {
 	BWWeight float64
 
 	// lastPriorities is kept for introspection and reuse by MLFS/MLF-C.
-	lastPriorities *Priorities
+	lastPriorities *Priorities //mlfs:derived recomputed every Schedule round
 }
 
 // NewMLFH returns an MLF-H scheduler with the paper's defaults.

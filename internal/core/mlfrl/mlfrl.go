@@ -138,10 +138,10 @@ type Scheduler struct {
 
 	// Per-round scratch, reused so the decision hot path makes no
 	// steady-state allocations.
-	fit      []int               // candidate servers passing the fit check
-	order    []scoredJob         // priority-ordered pending jobs
-	tried    map[job.TaskID]bool // migration victims already attempted
-	featFree []*nn.Matrix        // freelist backing decision.feats
+	fit      []int               //mlfs:derived scratch: candidate servers passing the fit check
+	order    []scoredJob         //mlfs:derived scratch: priority-ordered pending jobs
+	tried    map[job.TaskID]bool //mlfs:derived scratch: migration victims already attempted
+	featFree []*nn.Matrix        //mlfs:derived scratch: freelist backing decision.feats
 }
 
 // New builds an MLF-RL scheduler.

@@ -117,28 +117,31 @@ func (s State) String() string {
 // Task is one worker: it computes one model partition for one mini-batch
 // replica (§3.2). A parameter-server task has Partition == -1.
 type Task struct {
-	ID      TaskID
+	// Static task structure (ID through IsPS) is never serialized:
+	// restore re-streams the consumed trace prefix and re-materialises
+	// each live job, rebuilding these fields bit-identically.
+	ID      TaskID //mlfs:derived re-assigned in stream order by restore's trace replay
 	Job     *Job
 	Index   int // position in Job.Tasks
 	Replica int // data-parallel replica (mini-batch) index
 	// Partition is the model-partition index, or -1 for a PS task.
-	Partition int
+	Partition int //mlfs:derived re-materialised from the trace record
 	// Params is S_k, the number of model parameters in this partition
 	// (millions). The spatial size feature of Eq. 2 is Params/Job.TotalParams.
-	Params float64
+	Params float64 //mlfs:derived re-materialised from the trace record
 	// Stage is the topological level of the task in the dependency DAG.
-	Stage int
+	Stage int //mlfs:derived recomputed by the DAG build on re-materialisation
 	// children/parents hold indices into Job.Tasks.
 	children []int
 	parents  []int
 	// ComputeSec is the task's compute time per iteration on a unit GPU.
-	ComputeSec float64
+	ComputeSec float64 //mlfs:derived re-materialised from the trace record
 	// Demand is the task's per-resource consumption when placed.
-	Demand cluster.Vec
+	Demand cluster.Vec //mlfs:derived re-materialised from the trace record
 	// GPUShare is the fraction of one GPU device the task occupies.
-	GPUShare float64
+	GPUShare float64 //mlfs:derived re-materialised from the trace record
 	// IsPS marks the parameter-server task.
-	IsPS bool
+	IsPS bool //mlfs:derived re-materialised from the trace record
 
 	// QueuedAt is when the task last entered the waiting queue; used for
 	// the waiting-time priority feature w_{k,J}.
@@ -166,13 +169,15 @@ func (t *Task) NormSize() float64 {
 
 // Job is one training job.
 type Job struct {
-	ID       ID
+	// Static job metadata is never serialized; restore re-materialises
+	// it from the trace record (see Task's field notes).
+	ID       ID //mlfs:derived re-materialised from the trace record
 	Name     string
 	Family   learncurve.Family
 	Comm     CommStructure
 	Urgency  int // L_J in [0, m]; higher is more urgent (§3.3.1)
 	Arrival  float64
-	Deadline float64
+	Deadline float64 //mlfs:derived re-materialised from the trace record
 	// AccuracyTarget is a^r_J.
 	AccuracyTarget float64
 	Curve          learncurve.Curve
@@ -199,7 +204,7 @@ type Job struct {
 
 	// EstimatedRuntime is t_e, the predicted total runtime under ideal
 	// placement (filled by the predictor package).
-	EstimatedRuntime float64
+	EstimatedRuntime float64 //mlfs:derived recomputed by EstimateRuntime on re-materialisation
 
 	// --- Dynamic training state (owned by the simulator) ---
 
@@ -215,13 +220,13 @@ type Job struct {
 	// free list. -1 while the job holds no slot. Slot numbering is an
 	// implementation detail of one run — never serialized, never read by
 	// schedulers.
-	SimSlot int
+	SimSlot int //mlfs:derived reassigned by the restoring simulator's slot rebuild
 
 	// PlacedTasks counts the job's currently placed tasks, maintained by
 	// every placement/removal path (sched.Context, gang rollback, the
 	// simulator's finish/fail/fault paths). It lets per-tick scans skip
 	// jobs with nothing on the cluster without an O(tasks) lookup each.
-	PlacedTasks int
+	PlacedTasks int //mlfs:derived settled from the restored cluster's placements
 
 	// DeadlineSnapped marks that AccuracyAtDeadline has been recorded
 	// (the deadline fell inside an executed tick, or the job finished

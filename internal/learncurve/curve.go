@@ -40,7 +40,7 @@ type Curve struct {
 	L0     float64 // loss before training
 	Floor  float64 // asymptotic loss
 	Decay  float64 // power-law exponent (> 0)
-	AccMax float64 // asymptotic accuracy in (0,1]
+	AccMax float64 //mlfs:derived asymptotic accuracy in (0,1]; re-materialised from the trace record
 	Rate   float64 // accuracy saturation rate (> 0)
 	Noise  float64 // relative observation noise (0 disables)
 
@@ -48,7 +48,7 @@ type Curve struct {
 	// by src, a counting source, so the stream position survives
 	// snapshot/restore: the noise a job sees after a resume is the same
 	// noise it would have seen uninterrupted.
-	rng *rand.Rand
+	rng *rand.Rand //mlfs:derived rebuilt around the replayed counting source
 	src *snapshot.Source
 }
 

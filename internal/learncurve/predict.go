@@ -29,17 +29,17 @@ type Predictor struct {
 	// times per round per job (stop decisions, accuracy extrapolation),
 	// which made the from-scratch fit the simulator's hottest path; the
 	// memo collapses those calls to one fit per new observation.
-	fitN    int // observation count the memo was computed at (0 = none)
-	fitRec  float64
-	fitAmax float64
-	fitRate float64
-	fitConf float64
-	fitOK   bool
+	fitN    int     //mlfs:derived fit memo: observation count it was computed at (0 = none)
+	fitRec  float64 //mlfs:derived fit memo, recomputed on the first post-restore Fit
+	fitAmax float64 //mlfs:derived fit memo
+	fitRate float64 //mlfs:derived fit memo
+	fitConf float64 //mlfs:derived fit memo
+	fitOK   bool    //mlfs:derived fit memo
 
 	// pows caches Recency^k. The weights {rec^0 … rec^(n-1)} only gain one
 	// element as n grows, so each power is computed once with math.Pow —
 	// bit-identical to recomputing the whole weight vector every call.
-	pows []float64
+	pows []float64 //mlfs:derived weight cache, regrown bit-identically on demand
 
 	// expf caches the curve basis 1 − e^(−r·iters[j]) per grid rate:
 	// expf[ri][j] for fitRates[ri]. Each term depends only on the rate
@@ -47,7 +47,7 @@ type Predictor struct {
 	// once; the fit's inner loops then run multiply-adds with the exact
 	// float64s a from-scratch evaluation would produce. This removes the
 	// 2·|rates|·n exp calls per fit that dominated simulation profiles.
-	expf [][]float64
+	expf [][]float64 //mlfs:derived basis cache, regrown bit-identically on demand
 }
 
 // fitRates is the log-spaced rate grid of the fit, covering very slow to

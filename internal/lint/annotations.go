@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Field annotations are the snapstate analyzer's escape hatch: a struct
+// field that is deliberately not serialised carries one of
+//
+//	//mlfs:derived <one-line reason>    recomputed on restore (epoch
+//	                                    caches, scratch buffers, free
+//	                                    lists, rebuilt indexes)
+//	//mlfs:transient <one-line reason>  excluded from the snapshot
+//	                                    contract entirely (run-mode
+//	                                    knobs, test seams)
+//
+// placed on the field's own line (trailing) or in the doc comment
+// directly above it. The distinction is documentation: both exempt the
+// field from every snapstate check, but derived promises Restore leaves
+// the field semantically equivalent, while transient admits it may
+// diverge.
+//
+// Unlike //mlfs:allow, annotations are resolved structurally from the
+// field's own Doc/Comment groups, never by line adjacency: a trailing
+// annotation on one field must not leak onto the next field down and
+// silently exempt it (the seeded-mutation self-test caught exactly that
+// with Simulator.recentSpare's annotation masking lastBWMark).
+
+// fieldAnnotation returns the derived/transient kind attached to the
+// field declaration, or "" when the field is unannotated.
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			switch {
+			case strings.HasPrefix(c.Text, "//mlfs:derived"):
+				return "derived"
+			case strings.HasPrefix(c.Text, "//mlfs:transient"):
+				return "transient"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the shared whole-program layer under the module
+// analyzers: an index of every function declared in the loaded package
+// set plus a call-graph walker. Precision choices, in one place:
+//
+//   - Direct calls and method calls on concrete receivers resolve
+//     exactly (via types.Info.Uses).
+//   - Calls through an interface resolve by class-hierarchy analysis
+//     over *named* interfaces declared in the loaded packages: the call
+//     conservatively fans out to that method on every loaded type
+//     implementing the interface. Calls through stdlib or anonymous
+//     interface types are not followed.
+//   - Function literals need no edges: walking a declaration's body
+//     visits nested literals, so a closure is analysed as part of the
+//     function that declares it (including go/defer'd literals).
+//   - Calls through function-typed variables and fields are not
+//     resolved. None of the simulator's tick-loop state flows through
+//     them today; the golden fixtures pin the supported shapes.
+//
+// All packages must come from one Loader so *types.Func identities are
+// comparable across packages.
+
+// funcNode is one function or method declared in the loaded set.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// moduleIndex indexes declared functions, named types and interface
+// implementations across the loaded package set.
+type moduleIndex struct {
+	pkgs  []*Package
+	funcs map[*types.Func]*funcNode
+	named []*types.Named // module named types, stable (package, name) order
+	// impls maps a module named interface type to, per method name, the
+	// concrete methods of loaded types implementing it.
+	impls map[*types.Named]map[string][]*types.Func
+}
+
+func indexModule(pkgs []*Package) *moduleIndex {
+	ix := &moduleIndex{
+		pkgs:  pkgs,
+		funcs: make(map[*types.Func]*funcNode),
+		impls: make(map[*types.Named]map[string][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		forEachFunc(pkg, func(fd *ast.FuncDecl) {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+				ix.funcs[fn.Origin()] = &funcNode{fn: fn.Origin(), decl: fd, pkg: pkg}
+			}
+		})
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				ix.named = append(ix.named, named)
+			}
+		}
+	}
+	for _, iface := range ix.named {
+		it, ok := iface.Underlying().(*types.Interface)
+		if !ok || it.NumMethods() == 0 {
+			continue
+		}
+		byName := make(map[string][]*types.Func)
+		for _, impl := range ix.named {
+			if types.IsInterface(impl.Underlying()) || impl == iface {
+				continue
+			}
+			if !types.Implements(types.NewPointer(impl), it) {
+				continue
+			}
+			ms := types.NewMethodSet(types.NewPointer(impl))
+			for i := 0; i < it.NumMethods(); i++ {
+				want := it.Method(i).Name()
+				for j := 0; j < ms.Len(); j++ {
+					if m, ok := ms.At(j).Obj().(*types.Func); ok && m.Name() == want {
+						byName[want] = append(byName[want], m.Origin())
+					}
+				}
+			}
+		}
+		if len(byName) > 0 {
+			ix.impls[iface] = byName
+		}
+	}
+	return ix
+}
+
+// namedTypesCalled reports the concrete methods an interface method call
+// may dispatch to, or nil when the interface is not a loaded named type.
+func (ix *moduleIndex) dispatch(fn *types.Func) []*types.Func {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !types.IsInterface(named.Underlying()) {
+		return nil
+	}
+	return ix.impls[named][fn.Name()]
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// closure walks the call graph from roots and returns the set of
+// reachable declared functions plus, for each, the caller it was first
+// reached from (roots map to nil) — enough to reconstruct one shortest
+// call chain for a diagnostic. Interface calls fan out per dispatch only
+// when useIfaces is set; functions for which skip returns true are
+// neither entered nor traversed (skip may be nil).
+func (ix *moduleIndex) closure(roots []*types.Func, useIfaces bool, skip func(*types.Func) bool) (map[*types.Func]bool, map[*types.Func]*types.Func) {
+	seen := make(map[*types.Func]bool)
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	push := func(fn, from *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		if skip != nil && skip(fn) {
+			return
+		}
+		if _, ok := ix.funcs[fn]; !ok {
+			return
+		}
+		seen[fn] = true
+		parent[fn] = from
+		queue = append(queue, fn)
+	}
+	for _, r := range roots {
+		push(r, nil)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := ix.funcs[cur]
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(node.pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			fn = fn.Origin()
+			if isInterfaceMethod(fn) {
+				if useIfaces {
+					for _, impl := range ix.dispatch(fn) {
+						push(impl, cur)
+					}
+				}
+				return true
+			}
+			push(fn, cur)
+			return true
+		})
+	}
+	return seen, parent
+}
+
+// callChain renders "a → b → c" from the parent pointers produced by
+// closure, ending at fn and starting at its root, capped at maxHops
+// frames (an ellipsis marks elided middles).
+func callChain(parent map[*types.Func]*types.Func, fn *types.Func, maxHops int) string {
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, funcDisplayName(f))
+	}
+	// chain is callee-first; reverse to root-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	if len(chain) > maxHops && maxHops >= 2 {
+		head := chain[:maxHops-1]
+		chain = append(append([]string{}, head...), "…", chain[len(chain)-1])
+	}
+	out := ""
+	for i, s := range chain {
+		if i > 0 {
+			out += " → "
+		}
+		out += s
+	}
+	return out
+}
+
+// funcDisplayName renders pkg.Func or pkg.(Type).Method.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

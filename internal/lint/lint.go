@@ -39,9 +39,11 @@ func (d Diagnostic) less(o Diagnostic) bool {
 	return d.Check < o.Check
 }
 
-// Analyzer is one invariant check. Run inspects the package behind pass
-// and reports findings through it; suppression and ordering are handled
-// by the framework.
+// Analyzer is one invariant check. Per-package analyzers set Run, which
+// inspects one package behind a Pass; whole-program analyzers set
+// RunModule instead, which sees every loaded package at once (snapstate
+// and detflow need cross-package call graphs and field tables).
+// Suppression and ordering are handled by the framework either way.
 type Analyzer struct {
 	Name string
 	// Doc is the one-line description shown by mlfs-lint's usage text.
@@ -50,11 +52,14 @@ type Analyzer struct {
 	// deterministic (registry or //mlfs:deterministic directive).
 	DeterministicOnly bool
 	Run               func(*Pass)
+	// RunModule, if set, runs once over the whole loaded package set
+	// instead of once per package. Run is ignored when RunModule is set.
+	RunModule func(*ModulePass)
 }
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{mapIterAnalyzer, noClockAnalyzer, epochGuardAnalyzer, floatCmpAnalyzer, sharedCaptureAnalyzer, pkgDocAnalyzer}
+	return []*Analyzer{mapIterAnalyzer, noClockAnalyzer, epochGuardAnalyzer, floatCmpAnalyzer, sharedCaptureAnalyzer, pkgDocAnalyzer, snapStateAnalyzer, detFlowAnalyzer}
 }
 
 // AnalyzersByName resolves a comma-separated subset of analyzer names
@@ -106,28 +111,104 @@ func relFile(root, file string) string {
 	return file
 }
 
-// RunPackage runs the given analyzers over one package and splits the
-// results into unsuppressed findings and directive-suppressed ones, each
-// sorted by position.
-func RunPackage(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic) {
+// ModulePass is one (module analyzer, package set) run handed to
+// Analyzer.RunModule. All packages come from one Loader, so they share a
+// FileSet and type identities are comparable across packages.
+type ModulePass struct {
+	Pkgs  []*Package
+	check string
+	out   *[]Diagnostic
+}
+
+// Fset returns the shared FileSet of the loaded packages.
+func (p *ModulePass) Fset() *token.FileSet { return p.Pkgs[0].Fset }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkgs[0].Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Check:   p.check,
+		File:    relFile(p.Pkgs[0].ModuleRoot, position.Filename),
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of one Run over a package set.
+type Result struct {
+	// Findings are unsuppressed diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are diagnostics silenced by an //mlfs:allow directive,
+	// sorted by position.
+	Suppressed []Diagnostic
+	// StaleAllows flags //mlfs:allow directives that suppressed nothing.
+	// A directive naming several checks is stale per unhit check name;
+	// only names of analyzers that actually ran are considered, so
+	// running a -checks subset never declares the others stale.
+	StaleAllows []Diagnostic
+}
+
+// Run executes the given analyzers over the whole loaded package set:
+// per-package analyzers once per package, module analyzers once over the
+// set. Diagnostics are split into findings and directive-suppressed
+// ones, and //mlfs:allow directives that suppressed nothing are reported
+// as StaleAllows.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	var all []Diagnostic
 	for _, a := range analyzers {
-		if a.DeterministicOnly && !pkg.Deterministic {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Pkgs: pkgs, check: a.Name, out: &all})
 			continue
 		}
-		a.Run(&Pass{Pkg: pkg, check: a.Name, out: &all})
-	}
-	allow := allowDirectives(pkg)
-	for _, d := range all {
-		if allow[suppressKey{d.File, d.Line, d.Check}] {
-			suppressed = append(suppressed, d)
-		} else {
-			findings = append(findings, d)
+		for _, pkg := range pkgs {
+			if a.DeterministicOnly && !pkg.Deterministic {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, check: a.Name, out: &all})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].less(findings[j]) })
-	sort.Slice(suppressed, func(i, j int) bool { return suppressed[i].less(suppressed[j]) })
-	return findings, suppressed
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	allow := allowDirectives(pkgs)
+	var res Result
+	for _, d := range all {
+		if rec, ok := allow[suppressKey{d.File, d.Line, d.Check}]; ok {
+			rec.hit = true
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Findings = append(res.Findings, d)
+		}
+	}
+	seen := make(map[*allowRecord]bool)
+	for _, rec := range allow {
+		if rec.hit || !ran[rec.check] || seen[rec] {
+			continue
+		}
+		seen[rec] = true
+		res.StaleAllows = append(res.StaleAllows, Diagnostic{
+			Check:   "stale-allow",
+			File:    rec.file,
+			Line:    rec.line,
+			Column:  rec.column,
+			Message: fmt.Sprintf("//mlfs:allow %s suppresses no %s finding; remove the directive or the check name", rec.check, rec.check),
+		})
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return res.Findings[i].less(res.Findings[j]) })
+	sort.Slice(res.Suppressed, func(i, j int) bool { return res.Suppressed[i].less(res.Suppressed[j]) })
+	sort.Slice(res.StaleAllows, func(i, j int) bool { return res.StaleAllows[i].less(res.StaleAllows[j]) })
+	return res
+}
+
+// RunPackage runs the given analyzers over one package and splits the
+// results into unsuppressed findings and directive-suppressed ones, each
+// sorted by position. Module analyzers see a one-package module.
+func RunPackage(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic) {
+	res := Run([]*Package{pkg}, analyzers)
+	return res.Findings, res.Suppressed
 }
 
 type suppressKey struct {
@@ -136,32 +217,47 @@ type suppressKey struct {
 	check string
 }
 
-// allowDirectives collects every //mlfs:allow directive of the package.
-// A directive suppresses matching findings on its own line (trailing
-// form) and on the line directly below it (standalone form above the
-// offending statement).
-func allowDirectives(pkg *Package) map[suppressKey]bool {
-	allow := make(map[suppressKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//mlfs:allow")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				file := relFile(pkg.ModuleRoot, pos.Filename)
-				for _, check := range strings.Split(fields[0], ",") {
-					check = strings.TrimSpace(check)
-					if check == "" {
+// allowRecord is one (directive, check name) pair; hit is set when it
+// suppresses at least one diagnostic, and stale directives are the ones
+// left unhit after a full run.
+type allowRecord struct {
+	file   string
+	line   int
+	column int
+	check  string
+	hit    bool
+}
+
+// allowDirectives collects every //mlfs:allow directive of the package
+// set. A directive suppresses matching findings on its own line
+// (trailing form) and on the line directly below it (standalone form
+// above the offending statement); both keys share one record so either
+// match marks the directive live.
+func allowDirectives(pkgs []*Package) map[suppressKey]*allowRecord {
+	allow := make(map[suppressKey]*allowRecord)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//mlfs:allow")
+					if !ok {
 						continue
 					}
-					allow[suppressKey{file, pos.Line, check}] = true
-					allow[suppressKey{file, pos.Line + 1, check}] = true
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					file := relFile(pkg.ModuleRoot, pos.Filename)
+					for _, check := range strings.Split(fields[0], ",") {
+						check = strings.TrimSpace(check)
+						if check == "" {
+							continue
+						}
+						rec := &allowRecord{file: file, line: pos.Line, column: pos.Column, check: check}
+						allow[suppressKey{file, pos.Line, check}] = rec
+						allow[suppressKey{file, pos.Line + 1, check}] = rec
+					}
 				}
 			}
 		}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapStateMutation is the end-to-end proof behind the snapstate
+// analyzer: it copies the real simulator package into a scratch
+// directory under testdata (inside the module, so the loader accepts
+// it; Expand skips testdata, so nothing else ever sees the copies),
+// deletes one side of one field's codec from the copy of snapshot.go,
+// and asserts the analyzer names exactly that field. The unmutated
+// control copy must come back clean, so a reported mutation cannot be
+// noise. Because `make lint` runs the same analysis over the real tree,
+// this demonstrates that dropping any single encode or decode statement
+// there cannot land.
+func TestSnapStateMutation(t *testing.T) {
+	l := testLoader(t)
+
+	// Module view: the production packages the real gate loads, minus
+	// the real simulator (replaced by the mutated copy) and the lint
+	// package itself (uninvolved in the snapshot protocol; loading its
+	// go/* dependency tree would dominate the test's cost). cmd and
+	// examples contribute no codec mentions and are skipped for speed.
+	dirs, err := l.Expand([]string{filepath.Join(l.ModuleRoot, "internal") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depDirs []string
+	for _, d := range dirs {
+		if d == filepath.Join(l.ModuleRoot, "internal", "sim") ||
+			d == filepath.Join(l.ModuleRoot, "internal", "lint") {
+			continue
+		}
+		depDirs = append(depDirs, d)
+	}
+
+	simDir := filepath.Join(l.ModuleRoot, "internal", "sim")
+	tmpRoot, err := os.MkdirTemp(filepath.Join(l.ModuleRoot, "internal", "lint", "testdata"), "simmut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(tmpRoot) })
+
+	snap := analyzerByName(t, "snapstate")
+	cases := []struct {
+		name string
+		drop string // statement line deleted from the snapshot.go copy ("" = control)
+		want string // required finding substring ("" = must be clean)
+	}{
+		{"control", "", ""},
+		{"drop-encode-progress", "w.Float64(j.Progress)",
+			"field Job.Progress is restored by the snapshot decode path but never encoded"},
+		{"drop-decode-lastbwmark", "s.lastBWMark = r.Float64()",
+			"field Simulator.lastBWMark is written by the snapshot encode path but never read back"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(tmpRoot, tc.name)
+			copySimPackage(t, simDir, dir, tc.drop)
+			var pkgs []*Package
+			for _, d := range append(append([]string{}, depDirs...), dir) {
+				pkg, err := l.LoadDir(d)
+				if err != nil {
+					t.Fatalf("loading %s: %v", d, err)
+				}
+				pkgs = append(pkgs, pkg)
+			}
+			res := Run(pkgs, []*Analyzer{snap})
+			if tc.want == "" {
+				for _, d := range res.Findings {
+					t.Errorf("control copy must be clean, got: %s", d)
+				}
+				return
+			}
+			matched := false
+			for _, d := range res.Findings {
+				if strings.Contains(d.Message, tc.want) {
+					matched = true
+				} else {
+					t.Errorf("unexpected extra finding: %s", d)
+				}
+			}
+			if !matched {
+				t.Errorf("dropping %q produced no finding matching %q (got %d findings)",
+					tc.drop, tc.want, len(res.Findings))
+			}
+		})
+	}
+}
+
+// copySimPackage copies the non-test .go files of src into dst,
+// deleting the single line whose trimmed text equals drop (when set).
+// The deletion must hit exactly once, and only complete statements that
+// leave the package compiling are valid targets — the loader's
+// type-check fails the test otherwise.
+func copySimPackage(t *testing.T, src, dst, drop string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drop != "" {
+			lines := strings.Split(string(data), "\n")
+			kept := lines[:0]
+			for _, line := range lines {
+				if strings.TrimSpace(line) == drop {
+					dropped++
+					continue
+				}
+				kept = append(kept, line)
+			}
+			data = []byte(strings.Join(kept, "\n"))
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drop != "" && dropped != 1 {
+		t.Fatalf("statement %q deleted %d times, want exactly 1", drop, dropped)
+	}
+}

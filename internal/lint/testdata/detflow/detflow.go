@@ -1,0 +1,74 @@
+// Package detflow exercises the detflow analyzer: nondeterministic
+// reads reached from the tick-loop roots — Simulator methods directly,
+// a Scheduler implementation through interface dispatch, and a plain
+// helper on the call path — plus the exemptions: methods on an injected
+// *rand.Rand, the rand constructors, functions unreachable from any
+// root, and the //mlfs:allow suppression for deliberate telemetry.
+package detflow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Scheduler is dispatched through the interface by the tick loop.
+type Scheduler interface {
+	Schedule() float64
+}
+
+// Simulator's methods are tick-loop roots.
+type Simulator struct {
+	sched Scheduler
+	rng   *rand.Rand
+}
+
+// Tick drives one step.
+func (s *Simulator) Tick() {
+	s.sched.Schedule()
+	s.stamp()
+	s.debugDir()
+}
+
+// stamp reads the wall clock on the tick path.
+func (s *Simulator) stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now is reachable from the tick loop"
+}
+
+// debugDir reads ambient process state on the tick path.
+func (s *Simulator) debugDir() string {
+	return os.Getenv("DETFLOW_DEBUG") // want "environment read os.Getenv is reachable from the tick loop"
+}
+
+// Greedy reaches the global rand through a helper: the taint is
+// interprocedural, two hops from the interface dispatch.
+type Greedy struct{}
+
+// Schedule implements Scheduler.
+func (Greedy) Schedule() float64 { return jitter() }
+
+func jitter() float64 {
+	return rand.Float64() // want "global math/rand.Float64 is reachable from the tick loop"
+}
+
+// injected draws from a seeded source handed in at construction: the
+// sanctioned pattern, no finding.
+func (s *Simulator) injected() float64 {
+	return s.rng.Float64()
+}
+
+// build uses the rand constructors off the hot path: no finding.
+func build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// orphanClock is not reachable from any root: no finding.
+func orphanClock() time.Time {
+	return time.Now()
+}
+
+// telemetry is a deliberate wall-time probe, suppressed at both reads.
+func (s *Simulator) telemetry() time.Duration {
+	start := time.Now()      //mlfs:allow detflow fixture: telemetry probe, wall time never feeds state
+	return time.Since(start) //mlfs:allow detflow fixture: telemetry probe, wall time never feeds state
+}

@@ -1,0 +1,84 @@
+// Package snapstate exercises the snapstate analyzer: a root type with
+// EncodeState/DecodeState methods whose fields cover every diagnostic —
+// encode/decode asymmetry both ways, a runtime-mutated field missing
+// from the snapshot entirely — plus the exemptions: //mlfs:derived and
+// //mlfs:transient annotations, the //mlfs:allow suppression, a static
+// never-mutated field, a helper-encoded field found through the
+// one-level mention pull, and a bystander struct outside the protocol.
+package snapstate
+
+// Writer is the encode carrier: the sole-parameter type of the
+// EncodeState methods below.
+type Writer struct{ buf []float64 }
+
+// Float appends one value.
+func (w *Writer) Float(v float64) { w.buf = append(w.buf, v) }
+
+// Reader is the decode carrier.
+type Reader struct {
+	buf []float64
+	pos int
+}
+
+// Float consumes one value.
+func (r *Reader) Float() float64 { v := r.buf[r.pos]; r.pos++; return v }
+
+// Stats participates because flatten (pulled one level into the encode
+// path) mentions sum.
+type Stats struct {
+	sum  float64 // encoded via flatten, decoded directly: no finding
+	lost float64 // want "mutable field Stats.lost is not reachable from the snapshot encode path"
+}
+
+// Bystander never touches the snapshot protocol, so its fields are not
+// checked even though poke mutates them from the tick loop.
+type Bystander struct{ n int }
+
+// Simulator is a snapshot root (it has both codec methods) and, by
+// name, the source of the runtime mutability region.
+type Simulator struct {
+	tick  int     // encoded and decoded: no finding
+	drift float64 // want "field Simulator.drift is written by the snapshot encode path but never read back"
+	ghost float64 // want "field Simulator.ghost is restored by the snapshot decode path but never encoded"
+	count int     // want "mutable field Simulator.count is not reachable from the snapshot encode path"
+	noted float64 //mlfs:allow snapstate fixture: the finding must register as suppressed, not reported
+	cache []int   //mlfs:derived rebuilt on demand after restore: no finding
+	seam  func()  //mlfs:transient test seam, outside the snapshot contract: no finding
+	quiet float64 // never mutated and never serialised: static, no finding
+	stats Stats
+}
+
+// EncodeState writes the snapshot.
+func (s *Simulator) EncodeState(w *Writer) {
+	w.Float(float64(s.tick))
+	w.Float(s.drift)
+	for _, v := range s.flatten() {
+		w.Float(v)
+	}
+}
+
+// DecodeState restores it.
+func (s *Simulator) DecodeState(r *Reader) {
+	s.tick = int(r.Float())
+	s.ghost = r.Float()
+	s.stats.sum = r.Float()
+}
+
+// flatten has no carrier parameter: its mention of stats.sum reaches the
+// encode path through the one-level pull from EncodeState's call.
+func (s *Simulator) flatten() []float64 { return []float64{s.stats.sum} }
+
+// Tick is the runtime path; every field it writes must be encoded or
+// annotated.
+func (s *Simulator) Tick() {
+	s.count++
+	s.noted++
+	s.stats.lost++
+	s.cache = append(s.cache, s.count)
+}
+
+// SetSeam mutates the transient test seam.
+func (s *Simulator) SetSeam(f func()) { s.seam = f }
+
+// poke mutates a struct that does not participate in the protocol.
+func (s *Simulator) poke(b *Bystander) { b.n++ }

@@ -1,0 +1,10 @@
+// Package staleallow is a CLI fixture for -stale-allows: its only
+// //mlfs:allow directive suppresses nothing, so the flag must surface
+// it as a stale-allow finding while the default mode stays silent.
+package staleallow
+
+// harmless compares nothing and draws nothing; the directive below is
+// dead weight.
+func harmless() int {
+	return 1 //mlfs:allow floatcmp nothing here to suppress
+}

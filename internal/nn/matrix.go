@@ -21,6 +21,7 @@ import (
 
 // Matrix is a dense row-major float64 matrix.
 type Matrix struct {
+	//mlfs:derived codecs persist Data plus the non-implied dimension; decode rebuilds via NewMatrix and validates element counts
 	Rows, Cols int
 	Data       []float64
 }

@@ -89,7 +89,7 @@ type Config struct {
 	// placed-task-count gates are off. Results are bit-identical either
 	// way (the cross-check suite proves it); dense mode exists as the
 	// correctness oracle and requires a materialised Trace.
-	DenseTicks bool
+	DenseTicks bool //mlfs:transient run-mode knob; a resume may legally flip it (results are bit-identical either way)
 
 	// Straggler injection (§3.3.3 notes stragglers from failing hardware
 	// and misconfiguration; handling them is the paper's future work,
@@ -126,7 +126,7 @@ type Config struct {
 	// "killed" process is a run stopped mid-flight, resumed in a fresh
 	// simulator from the latest snapshot. The partial metrics returned
 	// by a stopped Run are discarded by resuming callers.
-	StopAtTick int
+	StopAtTick int //mlfs:transient chaos-harness knob; each resumed run sets its own stop point
 }
 
 func (c Config) withDefaults() Config {
@@ -234,10 +234,10 @@ type Simulator struct {
 	// and tallies accumulates the per-job result metrics of retired jobs
 	// — the only per-job state that outlives retirement.
 	src         trace.Source
-	srcRec      trace.Record
-	srcHave     bool
-	nextTaskID  job.TaskID
-	lastArrival float64
+	srcRec      trace.Record //mlfs:derived lookahead re-primed by restore's stream replay
+	srcHave     bool         //mlfs:derived lookahead re-primed by restore's stream replay
+	nextTaskID  job.TaskID   //mlfs:derived rebuilt by re-streaming the consumed trace prefix
+	lastArrival float64      //mlfs:derived rebuilt by re-streaming the consumed trace prefix
 	tallies     []metrics.Tally
 
 	// admitOrder, when set, permutes a job's tasks before they are
@@ -252,7 +252,7 @@ type Simulator struct {
 	// and recentSpare are double-buffered across rounds so the handoff
 	// never allocates.
 	recentCompleted []*job.Job
-	recentSpare     []*job.Job
+	recentSpare     []*job.Job //mlfs:derived double-buffer spare; contents never outlive a round
 	lastBWMark      float64
 
 	// tick counts executed steps across the whole logical run (restores
@@ -266,7 +266,7 @@ type Simulator struct {
 	// the per-tick release scan on the earliest pending release.
 	faults    *cluster.FaultProcess
 	parked    []*job.Job
-	retryHeap []float64
+	retryHeap []float64 //mlfs:derived rebuilt from the restored parked jobs' NextRetryAt
 
 	// Hot-path state: one scheduling context reused for the whole run,
 	// per-job iteration-cost caches invalidated by server load epochs,
@@ -276,14 +276,14 @@ type Simulator struct {
 	// are assigned at admission and recycled through freeSlots at
 	// retirement, so the cache footprint tracks peak live jobs rather
 	// than total submissions.
-	ctx           *sched.Context
-	cache         []jobIterCache
-	freeSlots     []int
-	adv           []advState // indexed like active
-	activeScratch []*job.Job
-	parkedScratch []*job.Job
+	ctx           *sched.Context //mlfs:derived repopulated from the restored jobs at the next Reset
+	cache         []jobIterCache //mlfs:derived epoch-keyed cache, re-sized and missed after restore
+	freeSlots     []int          //mlfs:derived rebuilt by restore's slot reassignment
+	adv           []advState     //mlfs:derived per-tick scratch, indexed like active
+	activeScratch []*job.Job     //mlfs:derived per-tick scratch
+	parkedScratch []*job.Job     //mlfs:derived per-tick scratch (also reused by the encoder's park scan)
 	workers       int
-	pool          *advancePool
+	pool          *advancePool //mlfs:derived worker pool, rebuilt by New
 }
 
 // New assembles a simulator: trace mode materialises the whole workload
@@ -645,9 +645,9 @@ func (s *Simulator) runScheduler() {
 	// it as the accumulator for the finishes of this tick.
 	s.recentCompleted, s.recentSpare = s.recentSpare[:0], s.recentCompleted
 	s.lastBWMark = s.counters.BandwidthMB
-	start := time.Now() //mlfs:allow noclock telemetry: SchedSeconds measures real scheduler overhead (Fig 4g) and never feeds simulation state
+	start := time.Now() //mlfs:allow noclock,detflow telemetry: SchedSeconds measures real scheduler overhead (Fig 4g) and never feeds simulation state
 	s.sched.Schedule(s.ctx)
-	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock telemetry: wall-time counter only; zeroed by the determinism tests
+	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock,detflow telemetry: wall-time counter only; zeroed by the determinism tests
 	s.counters.SchedRounds++
 
 	s.counters.Placements += s.ctx.Placements

@@ -16,7 +16,7 @@ import "math/rand"
 // ziggurat rejection loop) are covered for free because counting happens
 // at the source, not the distribution.
 type Source struct {
-	seed  int64
+	seed  int64 //mlfs:derived construction-time seed; AdvanceTo re-seeds from it before replaying
 	inner rand.Source64
 	draws uint64
 }
