@@ -16,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint docs race race-nn race-fault resume scale ci bench nnbench simbench faultbench scalebench
+.PHONY: all build test vet lint docs race race-nn race-fault race-incremental resume scale ci bench nnbench simbench faultbench scalebench profile
 
 all: build
 
@@ -58,13 +58,20 @@ race-fault:
 resume:
 	$(GO) test -race ./internal/snapshot/... ./cmd/mlfs-sim/
 
+# Race smoke of the incremental round structure: the
+# incremental-vs-full-rescan crosscheck matrix ({fifo,srtf,mlf-h,mlf-rl}
+# x 8-worker advance pool x fault injection) plus the mid-backlog
+# dirty-journal resume case, under the race detector.
+race-incremental:
+	$(GO) test -race ./internal/snapshot/chaostest/ -run Incremental
+
 # Philly-scale smoke: the streaming sparse core end to end — the scale
 # benchmark at reduced sizes, under the race detector, into a throwaway
 # directory (the real sweep is `make scalebench`).
 scale:
 	$(GO) run -race ./cmd/mlfs-bench -scalebench -scalebench-jobs 200,400 -scalebench-servers 8 -out /tmp/mlfs-scale-smoke
 
-ci: vet lint docs test race-nn race-fault resume scale race
+ci: vet lint docs test race-nn race-fault race-incremental resume scale race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation
@@ -91,3 +98,20 @@ faultbench:
 # {1k,10k,100k} jobs x {55,550} servers -> results/BENCH_scale.json.
 scalebench:
 	$(GO) run ./cmd/mlfs-bench -out results -scalebench
+
+# CPU/heap pprof profiles of one scalebench cell (default: mlf-h at 100k
+# jobs / 550 servers, the ISSUE-8 acceptance cell; override with
+# PROFILE_JOBS / PROFILE_SERVERS / PROFILE_SCHED for a faster pass).
+# Reading the profiles is documented in EXPERIMENTS.md. Note the cell
+# runs twice — incremental rounds plus the full-rescan oracle twin — so
+# the profile shows both sides of the comparison.
+PROFILE_JOBS ?= 100000
+PROFILE_SERVERS ?= 550
+PROFILE_SCHED ?= mlf-h
+profile:
+	mkdir -p results/pprof
+	$(GO) run ./cmd/mlfs-bench -scalebench \
+		-scalebench-jobs $(PROFILE_JOBS) -scalebench-servers $(PROFILE_SERVERS) \
+		-scalebench-schedulers $(PROFILE_SCHED) -out results/pprof \
+		-cpuprofile results/pprof/scalebench_cpu.prof \
+		-memprofile results/pprof/scalebench_heap.prof

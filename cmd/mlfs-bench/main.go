@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +66,9 @@ func main() {
 		scaleSrv    = flag.String("scalebench-servers", "55,550", "comma-separated server counts for -scalebench")
 		scaleScheds = flag.String("scalebench-schedulers", "", "comma-separated scheduler subset for -scalebench (default fifo,srtf,mlf-h)")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap pprof profile at exit to this file")
+
 		faultbench = flag.Bool("faultbench", false, "sweep JCT degradation vs server MTTF and write BENCH_fault.json")
 		faultJobs  = flag.Int("faultbench-jobs", 155, "job count for -faultbench runs")
 		faultMTTFs = flag.String("faultbench-mttfs", "", "override the MTTF sweep: comma-separated seconds (0 = failure-free baseline)")
@@ -75,6 +79,33 @@ func main() {
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *snapEvery < 0 {
 		fatal(fmt.Errorf("-snapshot-every must be >= 0 (0 disables snapshotting), got %d", *snapEvery))

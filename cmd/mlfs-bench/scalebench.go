@@ -31,7 +31,10 @@ var (
 // policy per decision; its cost is profiled separately by -nnbench.)
 var scaleBenchSchedulers = []string{"fifo", "srtf", "mlf-h"}
 
-// scaleBenchEntry is one (scheduler, jobs, servers) cell.
+// scaleBenchEntry is one (scheduler, jobs, servers) cell. The round_*
+// columns profile the incremental dirty-set rounds: every cell also runs
+// a FullRescan oracle twin (bit-identical results, enforced below) whose
+// per-round cost anchors the speedup column.
 type scaleBenchEntry struct {
 	Scheduler     string  `json:"scheduler"`
 	Jobs          int     `json:"jobs"`
@@ -46,6 +49,27 @@ type scaleBenchEntry struct {
 	Completed     int     `json:"completed"` // jobs that ran to completion (neither truncated nor rejected)
 	Truncated     int     `json:"truncated"`
 	Rejected      int     `json:"rejected"`
+
+	SchedRounds       int     `json:"sched_rounds"`
+	RoundUs           float64 `json:"round_us"`             // avg wall µs per scheduling round (incremental)
+	AvgDirtyJobs      float64 `json:"avg_dirty_jobs"`       // avg dirty-set size delivered per round
+	DirtyFraction     float64 `json:"dirty_fraction"`       // AvgDirtyJobs / workload size
+	SkippedRounds     int     `json:"skipped_rounds"`       // rounds proven no-ops (fifo/srtf skip proofs)
+	FullRescanRoundUs float64 `json:"full_rescan_round_us"` // oracle twin's avg round µs
+	RoundSpeedup      float64 `json:"round_speedup"`        // FullRescanRoundUs / RoundUs
+
+	// The backlog_round_* columns come from the round-scan probe
+	// (mlfs.RoundScanBench): the whole workload admitted as a standing
+	// backlog, 1% of jobs re-marked dirty per round. The keep-up columns
+	// above measure rounds dominated by placement and migration work both
+	// modes share; the probe isolates the scan-and-rank component, where
+	// the dirty-set structure is the difference between O(dirty) and
+	// O(backlog) — the regime of the incremental-round acceptance bar.
+	BacklogJobs            int     `json:"backlog_jobs"`                 // standing backlog the probe measures against
+	BacklogDirtyFraction   float64 `json:"backlog_dirty_fraction"`       // fraction of jobs re-marked dirty per probe round
+	BacklogRoundUs         float64 `json:"backlog_round_us"`             // incremental probe round µs
+	BacklogFullRescanRound float64 `json:"backlog_full_rescan_round_us"` // oracle probe round µs
+	BacklogRoundSpeedup    float64 `json:"backlog_round_speedup"`        // oracle / incremental
 }
 
 // scaleBenchReport is the BENCH_scale.json schema.
@@ -76,8 +100,10 @@ func runScaleBench(path string, seed int64, jobCounts, serverCounts []int, sched
 					return err
 				}
 				report.Entries = append(report.Entries, entry)
-				fmt.Printf("scalebench %-7s jobs=%-7d servers=%-4d wall %8.2fs  %9.0f ns/decision  peak heap %7.1f MB\n",
-					schedName, jobs, servers, entry.WallSeconds, entry.NsPerDecision, entry.PeakHeapMB)
+				fmt.Printf("scalebench %-7s jobs=%-7d servers=%-4d wall %8.2fs  %9.0f ns/decision  peak heap %7.1f MB  round %9.1fµs (oracle %9.1fµs, %4.1fx)  dirty/round %7.1f  backlog round %9.1fµs (oracle %11.1fµs, %5.1fx)\n",
+					schedName, jobs, servers, entry.WallSeconds, entry.NsPerDecision, entry.PeakHeapMB,
+					entry.RoundUs, entry.FullRescanRoundUs, entry.RoundSpeedup, entry.AvgDirtyJobs,
+					entry.BacklogRoundUs, entry.BacklogFullRescanRound, entry.BacklogRoundSpeedup)
 			}
 		}
 	}
@@ -116,25 +142,45 @@ func phillyDuration(jobs, gpus int) float64 {
 	return float64(jobs) * phillyJobSpacingSec * 2474 / float64(gpus)
 }
 
-// scaleBenchCell runs one cell under a heap-watermark sampler.
+// scaleBenchCell runs one cell under a heap-watermark sampler: once with
+// the default incremental rounds (the headline numbers), once with the
+// FullRescan oracle. The twin must reproduce the incremental run's
+// results bit for bit — the cell fails otherwise, so every regeneration
+// of BENCH_scale.json re-proves the equivalence contract at full scale.
 func scaleBenchCell(schedName string, jobs, servers int, seed int64) (scaleBenchEntry, error) {
 	gpus := servers * 4
-	opts := mlfs.Options{
-		Scheduler:     schedName,
-		Seed:          seed,
-		SchedOpts:     mlfs.SchedulerOptions{Seed: seed},
-		Servers:       servers,
-		GPUsPerServer: 4,
-		Source:        mlfs.SyntheticPhillySource(jobs, seed, phillyDuration(jobs, gpus)),
+	cellOpts := func(fullRescan bool) mlfs.Options {
+		return mlfs.Options{
+			Scheduler:     schedName,
+			Seed:          seed,
+			SchedOpts:     mlfs.SchedulerOptions{Seed: seed},
+			Servers:       servers,
+			GPUsPerServer: 4,
+			Source:        mlfs.SyntheticPhillySource(jobs, seed, phillyDuration(jobs, gpus)),
+			FullRescan:    fullRescan,
+		}
 	}
-	stop, peak := watchHeap()
+	// Collect the previous cell's garbage (the round probes admit whole
+	// workloads) before the watcher starts sampling, so the watermark
+	// measures this cell only.
 	runtime.GC()
+	stop, peak := watchHeap()
 	start := time.Now()
-	res, err := mlfs.Run(opts)
+	res, err := mlfs.Run(cellOpts(false))
 	wall := time.Since(start)
 	stop()
 	if err != nil {
 		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d: %w", schedName, jobs, servers, err)
+	}
+	oracle, err := mlfs.Run(cellOpts(true))
+	if err != nil {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d (full rescan): %w", schedName, jobs, servers, err)
+	}
+	if res.AvgJCTSec != oracle.AvgJCTSec || res.MakespanSec != oracle.MakespanSec || //mlfs:allow floatcmp oracle contract is bit-identity, not tolerance
+		res.Counters.Placements != oracle.Counters.Placements ||
+		res.Counters.Migrations != oracle.Counters.Migrations {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d: incremental run diverged from the full-rescan oracle (JCT %v vs %v)",
+			schedName, jobs, servers, res.AvgJCTSec, oracle.AvgJCTSec)
 	}
 	c := res.Counters
 	decisions := c.Placements + c.Migrations + c.Evictions + c.SchedRounds
@@ -151,9 +197,47 @@ func scaleBenchCell(schedName string, jobs, servers int, seed int64) (scaleBench
 		Completed:     res.Jobs - c.Truncated - c.Rejected,
 		Truncated:     c.Truncated,
 		Rejected:      c.Rejected,
+		SchedRounds:   c.SchedRounds,
+		SkippedRounds: c.SkippedRounds,
 	}
 	if decisions > 0 {
 		entry.NsPerDecision = float64(wall.Nanoseconds()) / float64(decisions)
+	}
+	if c.SchedRounds > 0 {
+		entry.RoundUs = c.SchedSeconds / float64(c.SchedRounds) * 1e6
+		entry.AvgDirtyJobs = float64(c.DirtyJobs) / float64(c.SchedRounds)
+		entry.DirtyFraction = entry.AvgDirtyJobs / float64(jobs)
+	}
+	if oc := oracle.Counters; oc.SchedRounds > 0 {
+		entry.FullRescanRoundUs = oc.SchedSeconds / float64(oc.SchedRounds) * 1e6
+	}
+	if entry.RoundUs > 0 && entry.FullRescanRoundUs > 0 {
+		entry.RoundSpeedup = entry.FullRescanRoundUs / entry.RoundUs
+	}
+
+	// Backlogged round-scan probe, incremental vs full-rescan oracle on
+	// the identical standing backlog. The Placements checksum pins the
+	// two probes to the same decision sequence.
+	const backlogDirtyFrac = 0.01
+	const probeRounds = 3
+	probe, err := mlfs.RoundScanBench(cellOpts(false), backlogDirtyFrac, probeRounds)
+	if err != nil {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d (round probe): %w", schedName, jobs, servers, err)
+	}
+	oracleProbe, err := mlfs.RoundScanBench(cellOpts(true), backlogDirtyFrac, probeRounds)
+	if err != nil {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d (round probe oracle): %w", schedName, jobs, servers, err)
+	}
+	if probe.Placements != oracleProbe.Placements || probe.Backlog != oracleProbe.Backlog {
+		return scaleBenchEntry{}, fmt.Errorf("scalebench %s jobs=%d servers=%d: round probe diverged from its full-rescan oracle (placements %d vs %d)",
+			schedName, jobs, servers, probe.Placements, oracleProbe.Placements)
+	}
+	entry.BacklogJobs = probe.Backlog
+	entry.BacklogDirtyFraction = backlogDirtyFrac
+	entry.BacklogRoundUs = probe.RoundSec * 1e6
+	entry.BacklogFullRescanRound = oracleProbe.RoundSec * 1e6
+	if entry.BacklogRoundUs > 0 {
+		entry.BacklogRoundSpeedup = entry.BacklogFullRescanRound / entry.BacklogRoundUs
 	}
 	return entry, nil
 }
@@ -239,6 +323,26 @@ func scaleHeadline(entries []scaleBenchEntry) string {
 		if small > 0 && big > 0 {
 			out += fmt.Sprintf(" %s %.2fx", e.Scheduler, big/small)
 		}
+	}
+	speedups := ""
+	for _, e := range entries {
+		if e.Jobs == maxJobs && e.Servers == maxServers && e.RoundSpeedup > 0 {
+			speedups += fmt.Sprintf(" %s %.1fx (dirty %.2f%%)", e.Scheduler, e.RoundSpeedup, e.DirtyFraction*100)
+		}
+	}
+	if speedups != "" {
+		out += fmt.Sprintf("; keep-up round speedup vs full-rescan oracle at %s jobs / %d servers:%s",
+			humanCount(maxJobs), maxServers, speedups)
+	}
+	backlog := ""
+	for _, e := range entries {
+		if e.Jobs == maxJobs && e.Servers == maxServers && e.BacklogRoundSpeedup > 0 {
+			backlog += fmt.Sprintf(" %s %.1fx (dirty %.0f%%)", e.Scheduler, e.BacklogRoundSpeedup, e.BacklogDirtyFraction*100)
+		}
+	}
+	if backlog != "" {
+		out += fmt.Sprintf("; backlogged round-scan speedup at %s jobs / %d servers:%s",
+			humanCount(maxJobs), maxServers, backlog)
 	}
 	return out
 }

@@ -22,6 +22,23 @@ type scaleEntry struct {
 	SimulatedDays float64 `json:"simulated_days"`
 	Completed     int     `json:"completed"`
 	Truncated     int     `json:"truncated"`
+
+	// Incremental-round telemetry (absent in pre-incremental files, so
+	// all zero there and the renderer falls back to the legacy table).
+	RoundUs           float64 `json:"round_us"`
+	AvgDirtyJobs      float64 `json:"avg_dirty_jobs"`
+	DirtyFraction     float64 `json:"dirty_fraction"`
+	SkippedRounds     int     `json:"skipped_rounds"`
+	FullRescanRoundUs float64 `json:"full_rescan_round_us"`
+	RoundSpeedup      float64 `json:"round_speedup"`
+
+	// Backlogged round-scan probe columns (see the scalebench entry
+	// comment: whole workload as a standing backlog, 1% dirty/round).
+	BacklogJobs            int     `json:"backlog_jobs"`
+	BacklogDirtyFraction   float64 `json:"backlog_dirty_fraction"`
+	BacklogRoundUs         float64 `json:"backlog_round_us"`
+	BacklogFullRescanRound float64 `json:"backlog_full_rescan_round_us"`
+	BacklogRoundSpeedup    float64 `json:"backlog_round_speedup"`
 }
 
 // scaleFile is the envelope of BENCH_scale.json.
@@ -54,6 +71,26 @@ func scaleTable(sf *scaleFile) string {
 	sb.WriteString("### scale — per-decision cost and peak memory vs workload size\n\n")
 	if sf.Headline != "" {
 		fmt.Fprintf(&sb, "%s\n\n", sf.Headline)
+	}
+	hasRounds := false
+	for _, e := range sf.Entries {
+		if e.RoundUs > 0 {
+			hasRounds = true
+			break
+		}
+	}
+	if hasRounds {
+		sb.WriteString("| scheduler | jobs | servers | wall (s) | decisions | ns/decision | peak heap (MB) | round (µs) | rescan round (µs) | speedup | dirty/round | dirty % | backlog round (µs) | backlog rescan (µs) | backlog speedup | completed |\n")
+		sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+		for _, e := range sf.Entries {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %.2f | %d | %.0f | %.1f | %.1f | %.1f | %.1fx | %.1f | %.2f | %.1f | %.1f | %.1fx | %d |\n",
+				e.Scheduler, e.Jobs, e.Servers, e.WallSeconds, e.Decisions,
+				e.NsPerDecision, e.PeakHeapMB, e.RoundUs, e.FullRescanRoundUs,
+				e.RoundSpeedup, e.AvgDirtyJobs, e.DirtyFraction*100,
+				e.BacklogRoundUs, e.BacklogFullRescanRound, e.BacklogRoundSpeedup, e.Completed)
+		}
+		sb.WriteString("\n")
+		return sb.String()
 	}
 	sb.WriteString("| scheduler | jobs | servers | wall (s) | decisions | ns/decision | peak heap (MB) | sim days | completed | truncated |\n")
 	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")

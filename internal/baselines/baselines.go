@@ -35,6 +35,49 @@ func orderedGangPlace(ctx *sched.Context, less func(a, b *job.Job) bool, choose 
 	}
 }
 
+// keyedJob pairs a job with its precomputed ordering key.
+type keyedJob struct {
+	j *job.Job
+	k float64
+}
+
+// keyedJobs sorts by (key asc, job ID asc). Job IDs are unique, so the
+// comparator is a total order and the concrete non-stable sort is
+// deterministic — equivalent to a stable sort under the same
+// comparator, without the reflect-based swap machinery.
+type keyedJobs []keyedJob
+
+func (s keyedJobs) Len() int      { return len(s) }
+func (s keyedJobs) Swap(i, k int) { s[i], s[k] = s[k], s[i] }
+func (s keyedJobs) Less(i, k int) bool {
+	if s[i].k != s[k].k {
+		return s[i].k < s[k].k
+	}
+	return s[i].j.ID < s[k].j.ID
+}
+
+// keyedGangPlace is orderedGangPlace for policies whose order is a
+// single float key with an ID tie-break: the key is computed once per
+// job instead of O(log n) times inside a comparator, which is the
+// difference between the sort and the key function dominating a
+// 100k-job backlog round. buf is the caller's scratch, returned for
+// reuse so steady rounds don't reallocate.
+func keyedGangPlace(ctx *sched.Context, buf []keyedJob, key func(*job.Job) float64, choose sched.ServerChooser) []keyedJob {
+	jobs := ctx.PendingJobs()
+	if cap(buf) < len(jobs) {
+		buf = make([]keyedJob, 0, len(jobs))
+	}
+	buf = buf[:0]
+	for _, j := range jobs {
+		buf = append(buf, keyedJob{j, key(j)})
+	}
+	sort.Sort(keyedJobs(buf))
+	for _, kj := range buf {
+		ctx.PlaceGang(ctx.QueuedTasksOf(kj.j), choose)
+	}
+	return buf
+}
+
 // attainedServiceSec estimates the GPU-time a job has consumed so far —
 // Tiresias' least-attained-service metric: executed iterations × per-
 // iteration compute × workers.

@@ -44,17 +44,26 @@ func (*Gandiva) EncodeState(*snapshot.Writer) {}
 // DecodeState implements sched.Snapshotter (stateless).
 func (*Gandiva) DecodeState(*snapshot.Reader) error { return nil }
 
-// EncodeState implements sched.Snapshotter (stateless).
+// EncodeState implements sched.Snapshotter. The round skipper is
+// derived state: its proof keys on cluster epochs, which a restore
+// re-bumps from scratch, so it is dropped rather than persisted.
 func (*FIFO) EncodeState(*snapshot.Writer) {}
 
-// DecodeState implements sched.Snapshotter (stateless).
-func (*FIFO) DecodeState(*snapshot.Reader) error { return nil }
+// DecodeState implements sched.Snapshotter.
+func (f *FIFO) DecodeState(*snapshot.Reader) error {
+	f.skip.Reset()
+	return nil
+}
 
-// EncodeState implements sched.Snapshotter (stateless).
+// EncodeState implements sched.Snapshotter (see FIFO: the skipper is
+// derived, never persisted).
 func (*SRTF) EncodeState(*snapshot.Writer) {}
 
-// DecodeState implements sched.Snapshotter (stateless).
-func (*SRTF) DecodeState(*snapshot.Reader) error { return nil }
+// DecodeState implements sched.Snapshotter.
+func (s *SRTF) DecodeState(*snapshot.Reader) error {
+	s.skip.Reset()
+	return nil
+}
 
 // EncodeState implements sched.Snapshotter: round counter, staged
 // (not-yet-rewarded) decisions with their candidate features, the

@@ -1,0 +1,102 @@
+package cluster
+
+import "testing"
+
+// The attempt log lets a rolled-back gang placement rewind the epochs it
+// bumped, but only after verifying the load bits restored exactly. These
+// tests pin that contract: rewind on bit-exact restoration, refusal on
+// any drift, and cache invalidation across the rewind.
+
+func TestAttemptRewindRestoresEpochs(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 0.5, ResCPU: 2, ResMemory: 4, ResBandwidth: 10}
+	// Pre-existing load so the attempt mutates a non-trivial state.
+	if err := c.Place(1, 0, 0, d, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := c.Server(0), c.Server(1)
+	e0, e1, ec := s0.Epoch(), s1.Epoch(), c.Epoch()
+
+	var l AttemptLog
+	c.BeginAttempt(&l)
+	c.NoteAttemptTarget(&l, 0, 1)
+	if err := c.Place(2, 0, 1, d, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c.NoteAttemptTarget(&l, 1, 0)
+	if err := c.Place(3, 1, 0, d, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if s0.Epoch() == e0 || s1.Epoch() == e1 || c.Epoch() == ec {
+		t.Fatal("attempt placements must bump epochs")
+	}
+	c.Remove(2)
+	c.Remove(3)
+	if !c.AbortAttempt(&l) {
+		t.Fatal("bit-exact rollback must verify")
+	}
+	if s0.Epoch() != e0 || s1.Epoch() != e1 || c.Epoch() != ec {
+		t.Fatalf("epochs not rewound: server0 %d/%d server1 %d/%d cluster %d/%d",
+			s0.Epoch(), e0, s1.Epoch(), e1, c.Epoch(), ec)
+	}
+	// Derived caches written at transient epochs must not survive the
+	// rewind: a fresh probe recomputes from the restored state.
+	if s0.Overloaded(0.9) {
+		t.Fatal("a half-share placement on server 0 is not overload at hr=0.9")
+	}
+}
+
+func TestAttemptRewindRefusesDrift(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 1, ResCPU: 2, ResMemory: 4, ResBandwidth: 10}
+	var l AttemptLog
+	c.BeginAttempt(&l)
+	c.NoteAttemptTarget(&l, 0, 0)
+	if err := c.Place(1, 0, 0, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	ec := c.Epoch()
+	// Leave an untracked placement on the logged server: the load no
+	// longer matches the log, so the rewind must refuse and epochs stay
+	// advanced.
+	if err := c.Place(2, 0, 1, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(1)
+	if c.AbortAttempt(&l) {
+		t.Fatal("rewind must refuse when restored bits differ")
+	}
+	if c.Epoch() <= ec {
+		t.Fatal("refused rewind must leave epochs advanced")
+	}
+}
+
+func TestAttemptTargetDedup(t *testing.T) {
+	c := smallCluster()
+	d := Vec{ResGPU: 0.25, ResCPU: 1, ResMemory: 2, ResBandwidth: 5}
+	var l AttemptLog
+	c.BeginAttempt(&l)
+	// Two tasks on the same device: the second NoteAttemptTarget must not
+	// overwrite the first touch's pre-attempt bits, or the rewind would
+	// verify against mid-attempt state.
+	c.NoteAttemptTarget(&l, 0, 0)
+	if err := c.Place(1, 0, 0, d, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	ePre := uint64(0)
+	if got := c.Server(0).Epoch(); got == ePre {
+		t.Fatal("epoch must have advanced")
+	}
+	c.NoteAttemptTarget(&l, 0, 0)
+	if err := c.Place(2, 0, 0, d, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(1)
+	c.Remove(2)
+	if !c.AbortAttempt(&l) {
+		t.Fatal("bit-exact rollback must verify with deduped targets")
+	}
+	if c.Server(0).Epoch() != ePre || c.Epoch() != 0 {
+		t.Fatal("rewind must restore the first-touch epochs")
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -477,6 +478,122 @@ func (c *Cluster) UpdateDemand(p *Placement, demand Vec, gpuShare float64) {
 	p.GPUShare = gpuShare
 	s.bump()
 	c.bump()
+}
+
+// AttemptLog records the pre-attempt load bits of the servers and devices
+// a speculative gang attempt touches. Gang placement is all-or-nothing:
+// when a later task of the gang cannot be hosted, the earlier placements
+// are rolled back, leaving the cluster in — numerically — its pre-attempt
+// state. The rollback arithmetic ((used+d)−d) is not guaranteed bit-exact
+// though, and every Place/Remove bumps the epochs, so without this log a
+// failed attempt invalidates every epoch-keyed memo (underloaded
+// candidates, no-fit frontier, per-server load caches) even when it
+// changed nothing. AbortAttempt verifies bit-exact restoration and, only
+// then, rewinds the epochs — turning a failed attempt into a true no-op.
+//
+// The zero value is ready; one log is reused across attempts (the entry
+// slice is high-water scratch).
+type AttemptLog struct {
+	entries []attemptEntry
+	clEpoch uint64
+}
+
+// attemptEntry is one (server, device) placement target with the load
+// bits and server epoch observed at first touch.
+type attemptEntry struct {
+	server, device int
+	used           Vec
+	load           float64
+	srvEpoch       uint64
+}
+
+// BeginAttempt arms l for a new speculative attempt starting from the
+// current cluster state.
+func (c *Cluster) BeginAttempt(l *AttemptLog) {
+	l.entries = l.entries[:0]
+	l.clEpoch = c.epoch
+}
+
+// NoteAttemptTarget records (server, device) as a target of the armed
+// attempt, capturing its pre-attempt load bits. Must be called before the
+// corresponding Place; repeated targets are recorded once (first touch
+// carries the pre-attempt bits). Attempts touch a gang's worth of targets,
+// so the dedup scan is a handful of comparisons.
+func (c *Cluster) NoteAttemptTarget(l *AttemptLog, server, device int) {
+	for i := range l.entries {
+		if l.entries[i].server == server && l.entries[i].device == device {
+			return
+		}
+	}
+	s := c.servers[server]
+	l.entries = append(l.entries, attemptEntry{
+		server:   server,
+		device:   device,
+		used:     s.used,
+		load:     s.devices[device].load,
+		srvEpoch: s.epoch,
+	})
+}
+
+// AbortAttempt finishes a failed attempt after the caller has removed
+// every placement it made. It verifies that each recorded target's load
+// returned to its pre-attempt bits exactly; if so, it rewinds the touched
+// servers' epochs and the cluster epoch to their pre-attempt values —
+// sound because the states they keyed are bit-identical again — and
+// reports true. The rewind re-uses epoch values, so every derived cache
+// the attempt may have written at a transient epoch is invalidated here
+// (the touched servers' load caches, the cluster overload memo); callers
+// holding their own cluster-epoch-keyed memos must do the same (see
+// sched.Context.PlaceGang). When any bit differs the epochs stay
+// advanced — the status-quo behaviour, always sound — and it reports
+// false.
+func (c *Cluster) AbortAttempt(l *AttemptLog) bool {
+	for i := range l.entries {
+		e := &l.entries[i]
+		s := c.servers[e.server]
+		if firstServerTouch(l.entries, i) && !bitsEqual(s.used, e.used) {
+			return false
+		}
+		if math.Float64bits(s.devices[e.device].load) != math.Float64bits(e.load) {
+			return false
+		}
+	}
+	for i := range l.entries {
+		e := &l.entries[i]
+		if !firstServerTouch(l.entries, i) {
+			continue
+		}
+		s := c.servers[e.server]
+		s.epoch = e.srvEpoch //mlfs:allow epochguard verified bit-exact rewind; the transient-epoch caches are invalidated right below
+		s.utilEp = ^uint64(0)
+		s.normEp = ^uint64(0)
+		s.ovlEp = ^uint64(0)
+	}
+	c.epoch = l.clEpoch //mlfs:allow epochguard verified bit-exact rewind; odegEp invalidation below keeps derived caches honest
+	c.odegEp = ^uint64(0)
+	return true
+}
+
+// firstServerTouch reports whether entries[i] is the first entry for its
+// server — the one holding the server's pre-attempt used vector and epoch.
+func firstServerTouch(entries []attemptEntry, i int) bool {
+	for k := 0; k < i; k++ {
+		if entries[k].server == entries[i].server {
+			return false
+		}
+	}
+	return true
+}
+
+// bitsEqual compares two vectors bit for bit (float == would conflate
+// +0/−0 and reject equal NaNs; epoch rewinding needs exact bits).
+func bitsEqual(a, b Vec) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Fits reports whether placing demand/gpuShare on (server, device) keeps

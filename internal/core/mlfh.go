@@ -6,7 +6,6 @@ import (
 
 	"mlfs/internal/cluster"
 	"mlfs/internal/job"
-	"mlfs/internal/queue"
 	"mlfs/internal/sched"
 )
 
@@ -37,6 +36,38 @@ type MLFH struct {
 
 	// lastPriorities is kept for introspection and reuse by MLFS/MLF-C.
 	lastPriorities *Priorities //mlfs:derived recomputed every Schedule round
+	// eng backs priority computation on incremental rounds (lazily
+	// built; nil under the full-rescan oracle, which keeps exercising
+	// ComputePriorities directly).
+	eng *PriorityEngine //mlfs:derived rebuilt from scratch after restore
+
+	// Round scratch, reused so steady-state rounds allocate nothing.
+	scored  []scoredJob //mlfs:derived scratch: priority-ordered pending jobs
+	taskBuf []*job.Task //mlfs:derived scratch: one job's queued tasks
+	fitBuf  []int       //mlfs:derived scratch: candidates passing the fit check
+	commBuf []float64   //mlfs:derived scratch: per-candidate communication volumes
+	volBuf  []float64   //mlfs:derived scratch: per-server communication volumes
+}
+
+// scoredJob pairs a job with its queue-ordering priority.
+type scoredJob struct {
+	j *job.Job
+	p float64
+}
+
+// scoredJobs sorts by (priority desc, job id asc). The concrete
+// sort.Interface keeps the per-round backlog sort off the reflection
+// path of sort.Slice; job ids are unique, so the order is total and
+// sort.Sort is deterministic without stability.
+type scoredJobs []scoredJob
+
+func (s scoredJobs) Len() int      { return len(s) }
+func (s scoredJobs) Swap(i, k int) { s[i], s[k] = s[k], s[i] }
+func (s scoredJobs) Less(i, k int) bool {
+	if s[i].p != s[k].p {
+		return s[i].p > s[k].p
+	}
+	return s[i].j.ID < s[k].j.ID
 }
 
 // NewMLFH returns an MLF-H scheduler with the paper's defaults.
@@ -51,9 +82,30 @@ func (m *MLFH) Name() string { return "mlf-h" }
 // round (nil before the first round).
 func (m *MLFH) LastPriorities() *Priorities { return m.lastPriorities }
 
+// Dirty implements sched.Incremental: journalled jobs drop their cached
+// priority components so the next round recomputes them.
+func (m *MLFH) Dirty(jobs []*job.Job) {
+	if m.eng != nil {
+		m.eng.Dirty(jobs)
+	}
+}
+
+// computePriorities picks the backend: the slot-cached engine on
+// incremental rounds, the oracle otherwise. Both yield bit-identical
+// values (crosschecked by the incremental-vs-full-rescan suite).
+func (m *MLFH) computePriorities(ctx *sched.Context) *Priorities {
+	if !ctx.Incremental() {
+		return ComputePriorities(ctx, m.Params)
+	}
+	if m.eng == nil {
+		m.eng = &PriorityEngine{}
+	}
+	return m.eng.Compute(ctx, m.Params)
+}
+
 // Schedule implements sched.Scheduler.
 func (m *MLFH) Schedule(ctx *sched.Context) {
-	prios := ComputePriorities(ctx, m.Params)
+	prios := m.computePriorities(ctx)
 	m.lastPriorities = prios
 	m.placeQueue(ctx, prios)
 	if !m.DisableMigration {
@@ -73,29 +125,34 @@ func (m *MLFH) placeQueue(ctx *sched.Context, prios *Priorities) {
 	// Order jobs by the maximum priority among their queued tasks; the
 	// queue is task-ordered in the paper, and a job's highest-priority
 	// task is what reaches the queue head.
-	type scored struct {
-		j *job.Job
-		p float64
-	}
-	scoredJobs := make([]scored, 0, len(jobs))
+	ranked := m.scored[:0]
 	for _, j := range jobs {
-		scoredJobs = append(scoredJobs, scored{j, prios.JobOrder(ctx.QueuedTasksOf(j))})
+		m.taskBuf = ctx.QueuedTasksInto(j, m.taskBuf[:0])
+		// Pre-filter through the no-fit frontier: if any queued task of
+		// the job provably cannot be hosted, its gang placement must
+		// fail with zero side effects, so the job's ordering work is
+		// skipped outright (bit-identical — see Context.GangHopeless).
+		if len(m.taskBuf) == 0 || ctx.GangHopeless(m.taskBuf[0]) {
+			continue
+		}
+		ranked = append(ranked, scoredJob{j, prios.JobOrder(m.taskBuf)})
 	}
-	sort.SliceStable(scoredJobs, func(i, k int) bool {
-		if scoredJobs[i].p != scoredJobs[k].p {
-			return scoredJobs[i].p > scoredJobs[k].p
-		}
-		return scoredJobs[i].j.ID < scoredJobs[k].j.ID
-	})
-	var q queue.Queue
-	for _, s := range scoredJobs {
+	m.scored = ranked
+	sort.Sort(scoredJobs(ranked))
+	for _, s := range ranked {
 		// Within the gang, place higher-priority tasks first so they get
-		// the best servers (priority orders the queue, §3.3.1).
-		q.Rebuild(ctx.QueuedTasksOf(s.j), prios.Of)
-		tasks := make([]*job.Task, 0, q.Len())
-		for _, it := range q.Drain() {
-			tasks = append(tasks, it.Task)
-		}
+		// the best servers (priority orders the queue, §3.3.1). Sorting
+		// by (priority desc, task id asc) reproduces the historical
+		// priority-heap drain order exactly.
+		tasks := ctx.QueuedTasksInto(s.j, m.taskBuf[:0])
+		sort.SliceStable(tasks, func(i, k int) bool {
+			pi, pk := prios.Of(tasks[i]), prios.Of(tasks[k])
+			if pi != pk {
+				return pi > pk
+			}
+			return tasks[i].ID < tasks[k].ID
+		})
+		m.taskBuf = tasks[:0]
 		ctx.PlaceGang(tasks, m.ChooseServer)
 	}
 }
@@ -139,19 +196,91 @@ func CommVolumeWith(ctx *sched.Context, t *job.Task, si int) float64 {
 	if j.Comm == job.ParameterServer {
 		syncVol = 0.25 * j.CommVolPS
 	}
-	adjacent := make(map[int]bool, len(t.Parents())+len(t.Children()))
-	for _, pi := range t.Parents() {
-		adjacent[pi] = true
-	}
-	for _, ci := range t.Children() {
-		adjacent[ci] = true
-	}
 	for _, other := range j.Tasks {
-		if other == t || adjacent[other.Index] {
+		if other == t || taskAdjacent(t, other.Index) {
 			continue
 		}
 		if onServer(other) {
 			vol += syncVol
+		}
+	}
+	return vol
+}
+
+// taskAdjacent reports whether task index idx is a direct parent or
+// child of t. Edge lists are bounded by the job's stage fan-out (a
+// handful of entries), so a linear scan beats building a set — this
+// runs once per sibling inside every communication-volume query and
+// must not allocate.
+func taskAdjacent(t *job.Task, idx int) bool {
+	for _, pi := range t.Parents() {
+		if pi == idx {
+			return true
+		}
+	}
+	for _, ci := range t.Children() {
+		if ci == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// commVolumesInto computes CommVolumeWith(ctx, t, si) for every server
+// at once, writing into vol (grown to the cluster size). The
+// per-candidate form resolves every adjacent task's placement through a
+// cluster map lookup once per candidate server, which made ChooseServer
+// dominate the scheduling-round profile at 550 servers; this form
+// resolves each placement exactly once and accumulates its contribution
+// on the server hosting it. Per-server additions happen in the same
+// term order as the per-candidate sums (parents, then children, then
+// sync-affinity siblings), so the results are bit-identical to calling
+// CommVolumeWith per server.
+func commVolumesInto(ctx *sched.Context, t *job.Task, vol []float64) []float64 {
+	n := ctx.Cluster.NumServers()
+	if cap(vol) < n {
+		vol = make([]float64, n)
+	}
+	vol = vol[:n]
+	for i := range vol {
+		vol[i] = 0
+	}
+	j := t.Job
+	hostOf := func(other *job.Task) int {
+		if p := ctx.Cluster.Lookup(other.ID.Ref()); p != nil {
+			return p.Server
+		}
+		return -1
+	}
+	for _, pi := range t.Parents() {
+		if si := hostOf(j.Tasks[pi]); si >= 0 {
+			if t.IsPS {
+				vol[si] += j.CommVolPS
+			} else {
+				vol[si] += j.CommVolWW
+			}
+		}
+	}
+	for _, ci := range t.Children() {
+		child := j.Tasks[ci]
+		if si := hostOf(child); si >= 0 {
+			if child.IsPS {
+				vol[si] += j.CommVolPS
+			} else {
+				vol[si] += j.CommVolWW
+			}
+		}
+	}
+	syncVol := 0.5 * j.CommVolWW
+	if j.Comm == job.ParameterServer {
+		syncVol = 0.25 * j.CommVolPS
+	}
+	for _, other := range j.Tasks {
+		if other == t || taskAdjacent(t, other.Index) {
+			continue
+		}
+		if si := hostOf(other); si >= 0 {
+			vol[si] += syncVol
 		}
 	}
 	return vol
@@ -167,7 +296,7 @@ func (m *MLFH) ChooseServer(ctx *sched.Context, t *job.Task, candidates []int) (
 	for r := range ideal {
 		ideal[r] = math.Inf(1)
 	}
-	fit := candidates[:0:0]
+	fit := m.fitBuf[:0]
 	for _, si := range candidates {
 		s := ctx.Cluster.Server(si)
 		dev := s.LeastLoadedDevice()
@@ -182,16 +311,24 @@ func (m *MLFH) ChooseServer(ctx *sched.Context, t *job.Task, candidates []int) (
 			}
 		}
 	}
+	m.fitBuf = fit
 	if len(fit) == 0 {
 		return 0, 0, false
 	}
 	// Communication affinity: ideal is the maximum volume any candidate
 	// offers.
-	comms := make([]float64, len(fit))
+	if cap(m.commBuf) < len(fit) {
+		m.commBuf = make([]float64, len(fit))
+	}
+	comms := m.commBuf[:len(fit)]
+	for i := range comms {
+		comms[i] = 0
+	}
 	var maxComm float64
 	if !m.DisableBandwidth {
+		m.volBuf = commVolumesInto(ctx, t, m.volBuf)
 		for i, si := range fit {
-			comms[i] = CommVolumeWith(ctx, t, si)
+			comms[i] = m.volBuf[si]
 			if comms[i] > maxComm {
 				maxComm = comms[i]
 			}

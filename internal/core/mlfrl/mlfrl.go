@@ -123,6 +123,20 @@ type scoredJob struct {
 	p float64
 }
 
+// scoredJobs sorts by (priority desc, job id asc) without the
+// reflection overhead of sort.Slice; ids are unique, so the order is
+// total and sort.Sort is deterministic without stability.
+type scoredJobs []scoredJob
+
+func (s scoredJobs) Len() int      { return len(s) }
+func (s scoredJobs) Swap(i, k int) { s[i], s[k] = s[k], s[i] }
+func (s scoredJobs) Less(i, k int) bool {
+	if s[i].p != s[k].p {
+		return s[i].p > s[k].p
+	}
+	return s[i].j.ID < s[k].j.ID
+}
+
 // Scheduler is the MLF-RL policy. It satisfies sched.Scheduler.
 type Scheduler struct {
 	cfg    Config
@@ -136,10 +150,16 @@ type Scheduler struct {
 	updates     int
 	imitFlushed bool // imitation leftovers stepped at the phase switch
 
+	// eng backs priority computation on incremental rounds (lazily
+	// built; nil under the full-rescan oracle, which keeps exercising
+	// core.ComputePriorities directly).
+	eng *core.PriorityEngine //mlfs:derived rebuilt from scratch after restore
+
 	// Per-round scratch, reused so the decision hot path makes no
 	// steady-state allocations.
 	fit      []int               //mlfs:derived scratch: candidate servers passing the fit check
 	order    []scoredJob         //mlfs:derived scratch: priority-ordered pending jobs
+	taskBuf  []*job.Task         //mlfs:derived scratch: one job's queued tasks
 	tried    map[job.TaskID]bool //mlfs:derived scratch: migration victims already attempted
 	featFree []*nn.Matrix        //mlfs:derived scratch: freelist backing decision.feats
 }
@@ -222,12 +242,33 @@ func (s *Scheduler) Schedule(ctx *sched.Context) {
 	s.recordReward(ctx)
 	s.trainPending()
 
-	prios := core.ComputePriorities(ctx, s.cfg.Priority)
+	prios := s.computePriorities(ctx)
 	s.placeQueue(ctx, prios)
 	// Overload relief: victim selection stays heuristic; the destination
 	// is chosen by the policy (the action space of §3.4 includes the
 	// migration destinations).
 	s.relieveOverloads(ctx, prios)
+}
+
+// Dirty implements sched.Incremental: journalled jobs drop their cached
+// priority components so the next round recomputes them.
+func (s *Scheduler) Dirty(jobs []*job.Job) {
+	if s.eng != nil {
+		s.eng.Dirty(jobs)
+	}
+}
+
+// computePriorities picks the backend: the slot-cached engine on
+// incremental rounds, the oracle otherwise — bit-identical either way
+// (crosschecked by the incremental-vs-full-rescan suite).
+func (s *Scheduler) computePriorities(ctx *sched.Context) *core.Priorities {
+	if !ctx.Incremental() {
+		return core.ComputePriorities(ctx, s.cfg.Priority)
+	}
+	if s.eng == nil {
+		s.eng = &core.PriorityEngine{}
+	}
+	return s.eng.Compute(ctx, s.cfg.Priority)
 }
 
 // rewardOf evaluates Eq. 7 on the jobs completed in the window plus the
@@ -308,20 +349,22 @@ func (s *Scheduler) placeQueue(ctx *sched.Context, prios *core.Priorities) {
 	jobs := ctx.PendingJobs()
 	s.order = s.order[:0]
 	for _, j := range jobs {
-		s.order = append(s.order, scoredJob{j, prios.JobOrder(ctx.QueuedTasksOf(j))})
+		s.taskBuf = ctx.QueuedTasksInto(j, s.taskBuf[:0])
+		// Skip jobs the no-fit frontier proves unplaceable before paying
+		// their ordering work (bit-identical — see Context.GangHopeless).
+		if len(s.taskBuf) == 0 || ctx.GangHopeless(s.taskBuf[0]) {
+			continue
+		}
+		s.order = append(s.order, scoredJob{j, prios.JobOrder(s.taskBuf)})
 	}
 	order := s.order
-	sort.SliceStable(order, func(i, k int) bool {
-		if order[i].p != order[k].p {
-			return order[i].p > order[k].p
-		}
-		return order[i].j.ID < order[k].j.ID
-	})
+	sort.Sort(scoredJobs(order))
 	for _, e := range order {
-		tasks := ctx.QueuedTasksOf(e.j)
+		tasks := ctx.QueuedTasksInto(e.j, s.taskBuf[:0])
 		sort.SliceStable(tasks, func(i, k int) bool {
 			return prios.Of(tasks[i]) > prios.Of(tasks[k])
 		})
+		s.taskBuf = tasks[:0]
 		ctx.PlaceGang(tasks, func(c *sched.Context, t *job.Task, cand []int) (int, int, bool) {
 			return s.chooseServer(c, t, cand, prios)
 		})

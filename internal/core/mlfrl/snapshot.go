@@ -30,8 +30,11 @@ func (s *Scheduler) EncodeState(w *snapshot.Writer) {
 }
 
 // DecodeState implements sched.Snapshotter, restoring a scheduler built
-// with the same Config to the encoded mid-training state.
+// with the same Config to the encoded mid-training state. The
+// priority-engine cache is derived state keyed on recycled simulator
+// slots, so a restored run starts it empty.
 func (s *Scheduler) DecodeState(r *snapshot.Reader) error {
+	s.eng = nil
 	s.round = r.Int()
 	s.imitated = r.Int()
 	s.updates = r.Int()

@@ -42,14 +42,23 @@ func DefaultPriorityParams() PriorityParams {
 
 // Priorities holds one round's P_{k,J} values for every task of the
 // considered jobs, plus the base (pre-recursion) values used for
-// job-level queue ordering.
+// job-level queue ordering. It is a facade over one of two backends:
+// the map pair filled by ComputePriorities (the oracle), or a
+// PriorityEngine's slot-indexed arrays (the incremental path) — the two
+// produce bit-identical values (see the engine's freeze argument).
 type Priorities struct {
 	p    map[job.TaskID]float64
 	base map[job.TaskID]float64
+	eng  *PriorityEngine
 }
 
 // Of returns P_{k,J} for task t (0 for unknown tasks).
-func (p *Priorities) Of(t *job.Task) float64 { return p.p[t.ID] }
+func (p *Priorities) Of(t *job.Task) float64 {
+	if p.eng != nil {
+		return p.eng.of(t)
+	}
+	return p.p[t.ID]
+}
 
 // BaseOf returns the blended priority of task t *before* the DAG
 // recursion of Eqs. 3/5. The recursion exists to order tasks within a
@@ -57,14 +66,19 @@ func (p *Priorities) Of(t *job.Task) float64 { return p.p[t.ID] }
 // systematically favour deeper DAGs, so job-level queue ordering uses
 // the base values. In the paper tasks queue individually, making this
 // distinction moot; under gang scheduling it matters.
-func (p *Priorities) BaseOf(t *job.Task) float64 { return p.base[t.ID] }
+func (p *Priorities) BaseOf(t *job.Task) float64 {
+	if p.eng != nil {
+		return p.eng.baseOf(t)
+	}
+	return p.base[t.ID]
+}
 
 // JobOrder returns the job-level queue score: the maximum base priority
 // among the given tasks.
 func (p *Priorities) JobOrder(tasks []*job.Task) float64 {
 	best := 0.0
 	for _, t := range tasks {
-		if v := p.base[t.ID]; v > best {
+		if v := p.BaseOf(t); v > best {
 			best = v
 		}
 	}
@@ -111,21 +125,25 @@ func ComputePriorities(ctx *sched.Context, params PriorityParams) *Priorities {
 		p:    make(map[job.TaskID]float64, len(mls)),
 		base: make(map[job.TaskID]float64, len(mls)),
 	}
-	blend := func(ml, c, mMax, cMax float64) float64 {
-		nml, nc := 0.0, 0.0
-		if mMax > 0 {
-			nml = ml / mMax
-		}
-		if cMax > 0 {
-			nc = c / cMax
-		}
-		return params.Alpha*nml + (1-params.Alpha)*nc
-	}
 	for id := range mls {
-		out.p[id] = blend(mls[id], cs[id], maxML, maxC)
-		out.base[id] = blend(baseMLs[id], baseCs[id], maxBaseML, maxBaseC)
+		out.p[id] = blendPriority(mls[id], cs[id], maxML, maxC, params)
+		out.base[id] = blendPriority(baseMLs[id], baseCs[id], maxBaseML, maxBaseC, params)
 	}
 	return out
+}
+
+// blendPriority is Eq. 6: normalise each component by its cross-job
+// maximum and mix with Alpha. Shared by the oracle and the engine so
+// the final arithmetic cannot drift between them.
+func blendPriority(ml, c, mMax, cMax float64, params PriorityParams) float64 {
+	nml, nc := 0.0, 0.0
+	if mMax > 0 {
+		nml = ml / mMax
+	}
+	if cMax > 0 {
+		nc = c / cMax
+	}
+	return params.Alpha*nml + (1-params.Alpha)*nc
 }
 
 // jobComponentPriorities returns the recursed P^{ML} and P^{C} per task
@@ -135,7 +153,19 @@ func jobComponentPriorities(ctx *sched.Context, j *job.Job, params PriorityParam
 	n := len(j.Tasks)
 	ml = make([]float64, n)
 	c = make([]float64, n)
+	baseML = make([]float64, n)
+	baseC = make([]float64, n)
+	fillComponentPriorities(ctx, j, params, ml, c, baseML, baseC)
+	return ml, c, baseML, baseC
+}
 
+// fillComponentPriorities computes the Eq. 2–5 components into
+// caller-provided slices of length len(j.Tasks), overwriting every
+// element. It is the single implementation behind both the
+// allocate-per-round oracle (jobComponentPriorities) and the
+// PriorityEngine's cached slots, so the two stay bit-identical by
+// construction.
+func fillComponentPriorities(ctx *sched.Context, j *job.Job, params PriorityParams, ml, c, baseML, baseC []float64) {
 	// --- Base ML priority, Eq. 2: L_J · (1/I) · δl_{I−1}/Σδl · S_k ---
 	urgency := float64(j.Urgency)
 	if params.DisableUrgency || urgency <= 0 {
@@ -177,8 +207,8 @@ func jobComponentPriorities(ctx *sched.Context, j *job.Job, params PriorityParam
 		c[i] = p
 	}
 
-	baseML = append([]float64(nil), ml...)
-	baseC = append([]float64(nil), c...)
+	copy(baseML, ml)
+	copy(baseC, c)
 
 	// --- DAG recursion, Eqs. 3 and 5: reverse-topological accumulation. ---
 	stages := j.Stages()
@@ -213,5 +243,4 @@ func jobComponentPriorities(ctx *sched.Context, j *job.Job, params PriorityParam
 		baseML[psIdx] = ml[psIdx]
 		baseC[psIdx] = c[psIdx]
 	}
-	return ml, c, baseML, baseC
 }

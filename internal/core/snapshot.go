@@ -8,5 +8,11 @@ import "mlfs/internal/snapshot"
 // Schedule call before any read, so nothing needs to be persisted.
 func (*MLFH) EncodeState(*snapshot.Writer) {}
 
-// DecodeState implements sched.Snapshotter.
-func (*MLFH) DecodeState(*snapshot.Reader) error { return nil }
+// DecodeState implements sched.Snapshotter. The priority-engine cache
+// is derived state keyed on recycled simulator slots, so a restored run
+// starts it empty rather than trusting entries from the pre-snapshot
+// lineage.
+func (m *MLFH) DecodeState(*snapshot.Reader) error {
+	m.eng = nil
+	return nil
+}

@@ -265,6 +265,18 @@ type Job struct {
 	// NextRetryAt is the simulation time before which the job's evicted
 	// tasks stay parked (exponential backoff between restarts).
 	NextRetryAt float64
+
+	// --- Incremental-round bookkeeping (owned by sched.Context; see
+	// internal/sched/incremental.go; zero unless the run uses the
+	// incremental round path) ---
+
+	// InPendingList marks the job as a live entry of the incremental
+	// context's sorted pending-jobs list (≥1 queued task).
+	InPendingList bool //mlfs:derived rebuilt by ResetIncremental from the restored queue
+	// DirtyMark dedups the context's change journal: set while the job
+	// sits in the accumulating buffer, cleared when the buffer is
+	// delivered to the scheduler.
+	DirtyMark bool //mlfs:derived journal state, rebuilt empty on restore
 }
 
 // Iteration returns the 1-based index of the iteration the job is

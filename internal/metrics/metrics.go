@@ -32,6 +32,13 @@ type Counters struct {
 	Truncated           int // jobs cut off by the simulation horizon
 	Rejected            int // jobs larger than the whole cluster
 
+	// Incremental-round telemetry (zero under the full-rescan and dense
+	// oracles). Like SchedSeconds these depend on the execution mode —
+	// and SkippedRounds on warm skipper state a restore legitimately
+	// drops — so cross-mode and crash-replay comparisons zero them.
+	DirtyJobs     int // jobs delivered through the round change journal
+	SkippedRounds int // rounds proven no-ops and skipped (sched.RoundSkipper)
+
 	// Fault-injection totals (all zero when FailureConfig is disabled).
 	ServerFailures   int     // servers taken down by the fault process
 	ServerRepairs    int     // servers returned to service
@@ -168,6 +175,20 @@ func ComputeFromTallies(scheduler string, tallies []Tally, c Counters) *Result {
 	r.MakespanSec = lastFinish - firstArrival
 	sort.Float64s(r.JCTs)
 	return r
+}
+
+// ZeroVolatile clears the counters that legitimately differ between a
+// crash-resumed (or mode-switched) run and its uninterrupted golden:
+// SchedSeconds is wall clock, and the incremental-round telemetry
+// depends on warm journal/skipper state a restore rebuilds
+// conservatively (every pending job is re-journalled, skip proofs are
+// discarded). Comparison tests call it on both sides before DeepEqual;
+// same-mode comparisons (worker counts, insertion orders) deliberately
+// do not, so journal determinism stays asserted.
+func (c *Counters) ZeroVolatile() {
+	c.SchedSeconds = 0
+	c.DirtyJobs = 0
+	c.SkippedRounds = 0
 }
 
 // SchedOverheadMS returns the mean scheduler decision time per round in

@@ -17,6 +17,8 @@ func (c *Counters) EncodeState(w *snapshot.Writer) {
 	w.Float64(c.SimulatedSec)
 	w.Int(c.Truncated)
 	w.Int(c.Rejected)
+	w.Int(c.DirtyJobs)
+	w.Int(c.SkippedRounds)
 	w.Int(c.ServerFailures)
 	w.Int(c.ServerRepairs)
 	w.Int(c.FailureEvictions)
@@ -38,6 +40,8 @@ func (c *Counters) DecodeState(r *snapshot.Reader) error {
 	c.SimulatedSec = r.Float64()
 	c.Truncated = r.Int()
 	c.Rejected = r.Int()
+	c.DirtyJobs = r.Int()
+	c.SkippedRounds = r.Int()
 	c.ServerFailures = r.Int()
 	c.ServerRepairs = r.Int()
 	c.FailureEvictions = r.Int()

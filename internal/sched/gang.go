@@ -6,6 +6,12 @@ import "mlfs/internal/job"
 // underloaded servers, or ok=false when no candidate can host it. It is
 // consulted task-by-task while a gang placement is being built, so it
 // observes the partial placements of earlier tasks of the same job.
+//
+// Contract: a chooser must return ok=false exactly when no candidate's
+// least-loaded device passes Cluster.Fits for the task — a test that is
+// monotone in (demand, GPU share). The incremental no-fit frontier
+// relies on this to skip gangs whose first task dominates a recorded
+// failure (see incremental.go); every chooser in the repo satisfies it.
 type ServerChooser func(ctx *Context, t *job.Task, candidates []int) (server, device int, ok bool)
 
 // underloadedCandidates returns the underloaded-server set for the
@@ -36,32 +42,78 @@ func (c *Context) underloadedCandidates() []int {
 // differ in *ordering* (which job goes first) and *server choice* — the
 // dimensions the paper's comparisons exercise.
 func (c *Context) PlaceGang(tasks []*job.Task, choose ServerChooser) bool {
-	placed := make([]*job.Task, 0, len(tasks))
-	rollback := func() {
+	if len(tasks) > 0 && c.nofitSkip(tasks[0]) {
+		// The frontier proves the first task cannot be hosted against
+		// the current cluster; the oracle attempt would fail with zero
+		// side effects, so skipping it is bit-identical.
+		return false
+	}
+	if c.gangFailSkip(tasks) {
+		// The memo proves this exact attempt already failed against a
+		// bit-identical cluster at the same threshold; re-running it
+		// would fail identically with zero side effects.
+		return false
+	}
+	// The partial-gang list lives in a context scratch buffer: a backlog
+	// scan calls PlaceGang once per pending job, and the failure path
+	// must not allocate.
+	placed := c.gangScratch[:0]
+	if c.incremental {
+		c.Cluster.BeginAttempt(&c.attempt)
+	}
+	rollback := func() bool {
 		for _, t := range placed {
 			c.Cluster.Remove(t.ID.Ref())
 			c.waiting[t.ID] = t
 			t.Job.PlacedTasks--
 			c.Placements--
 		}
+		if c.incremental {
+			if len(placed) == 0 {
+				// Nothing was placed: the cluster was never touched, so
+				// the failure keys the current epoch directly.
+				c.noteGangFail(tasks)
+			} else if c.Cluster.AbortAttempt(&c.attempt) {
+				// Bit-exact restoration verified and epochs rewound: the
+				// failed attempt is a true no-op, so the pre-attempt
+				// memos (candidates, no-fit frontier) stay valid and the
+				// failure is recordable against the rewound epoch. A memo
+				// the attempt itself wrote at a transient epoch must not
+				// survive the rewind — AbortAttempt invalidates the
+				// cluster-side caches, the candidates memo is ours.
+				if c.candValid && c.candEpoch != c.Cluster.Epoch() {
+					c.candValid = false
+				}
+				c.noteGangFail(tasks)
+			}
+		}
+		c.gangScratch = placed[:0]
+		return false
 	}
 	for _, t := range tasks {
 		cand := c.underloadedCandidates()
 		if len(cand) == 0 {
-			rollback()
-			return false
+			if len(placed) == 0 {
+				c.noteNofit(t)
+			}
+			return rollback()
 		}
 		server, device, ok := choose(c, t, cand)
 		if !ok {
-			rollback()
-			return false
+			if len(placed) == 0 {
+				c.noteNofit(t)
+			}
+			return rollback()
+		}
+		if c.incremental {
+			c.Cluster.NoteAttemptTarget(&c.attempt, server, device)
 		}
 		if err := c.Place(t, server, device); err != nil {
-			rollback()
-			return false
+			return rollback()
 		}
 		placed = append(placed, t)
 	}
+	c.gangScratch = placed[:0]
 	return true
 }
 
@@ -102,8 +154,22 @@ func LeastLoadedFit(ctx *Context, t *job.Task, candidates []int) (int, int, bool
 
 // PendingJobs returns the jobs that have at least one queued task, in the
 // deterministic order of their lowest queued task id (≈ submission order
-// for fresh jobs).
+// for fresh jobs). In incremental mode the list is served from the
+// maintained sorted pending list — O(pending), zero-alloc in steady
+// state, valid until the next call — instead of rescanning the backlog;
+// the two orders coincide because a job's task ids are contiguous, so
+// sorting by lowest queued id equals sorting by Tasks[0].ID.
 func (c *Context) PendingJobs() []*job.Job {
+	if c.incremental {
+		out := c.pendScratch[:0]
+		for _, j := range c.pendingList {
+			if j.InPendingList {
+				out = append(out, j)
+			}
+		}
+		c.pendScratch = out
+		return out
+	}
 	type entry struct {
 		j   *job.Job
 		min job.TaskID

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+
+	"mlfs/internal/job"
+)
+
+// The failed-gang memo skips re-attempting a gang that provably failed
+// against a bit-identical cluster. These tests pin the contract end to
+// end through PlaceGang: the epoch rewind that keeps the memo key valid,
+// the skip itself, and invalidation by real cluster changes.
+
+func TestGangFailMemoSkipsRepeatAttempts(t *testing.T) {
+	var next job.TaskID
+	// 3 servers x 2 GPUs; a 32-task gang places a few tasks, then fails
+	// and rolls back — the partial-attempt path.
+	big := testJob(t, 1, 32, &next)
+	big.SimSlot = 0
+	ctx := newCtx(t, big)
+	ctx.EnableIncremental()
+
+	calls := 0
+	counting := func(c *Context, tk *job.Task, cand []int) (int, int, bool) {
+		calls++
+		return FirstFit(c, tk, cand)
+	}
+
+	ep := ctx.Cluster.Epoch()
+	tasks := ctx.QueuedTasksOf(big)
+	if ctx.PlaceGang(tasks, counting) {
+		t.Fatal("32 tasks cannot fit on 6 GPUs")
+	}
+	if ctx.Cluster.Epoch() != ep {
+		t.Fatal("failed attempt must rewind the epochs it bumped")
+	}
+	if calls == 0 {
+		t.Fatal("first attempt must consult the chooser")
+	}
+
+	calls = 0
+	if ctx.PlaceGang(tasks, counting) {
+		t.Fatal("repeat attempt cannot succeed either")
+	}
+	if calls != 0 {
+		t.Fatalf("repeat attempt against an unchanged cluster must be skipped, chooser ran %d times", calls)
+	}
+
+	// A real cluster change moves the epoch and invalidates the memo.
+	small := testJob(t, 2, 1, &next)
+	small.SimSlot = 1
+	ctx.AddJob(small)
+	ctx.waiting[small.Tasks[0].ID] = small.Tasks[0]
+	if err := ctx.Place(small.Tasks[0], 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	calls = 0
+	if ctx.PlaceGang(tasks, counting) {
+		t.Fatal("the gang still cannot fit")
+	}
+	if calls == 0 {
+		t.Fatal("a changed cluster must force a fresh attempt")
+	}
+}
+
+func TestGangFailMemoOracleModeAttemptsEveryTime(t *testing.T) {
+	var next job.TaskID
+	big := testJob(t, 1, 32, &next)
+	big.SimSlot = 0
+	ctx := newCtx(t, big) // no EnableIncremental: full-rescan oracle mode
+	calls := 0
+	counting := func(c *Context, tk *job.Task, cand []int) (int, int, bool) {
+		calls++
+		return FirstFit(c, tk, cand)
+	}
+	tasks := ctx.QueuedTasksOf(big)
+	ctx.PlaceGang(tasks, counting)
+	first := calls
+	calls = 0
+	ctx.PlaceGang(tasks, counting)
+	if calls != first {
+		t.Fatalf("oracle mode must re-attempt identically: %d then %d chooser calls", first, calls)
+	}
+}

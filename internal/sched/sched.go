@@ -73,6 +73,29 @@ type Context struct {
 	candHR      float64
 	candValid   bool
 
+	// gangScratch holds PlaceGang's partial-placement list between
+	// calls so backlog scans stay allocation-free; attempt is the
+	// cluster-side undo-verify log that lets a failed gang attempt rewind
+	// the epochs it bumped (see cluster.AttemptLog).
+	gangScratch []*job.Task
+	attempt     cluster.AttemptLog
+
+	// Incremental-round state (see incremental.go): the sorted pending
+	// list, the double-buffered change journal and the no-fit dominance
+	// frontier. All derived, rebuilt by ResetIncremental on restore;
+	// inert until EnableIncremental.
+	incremental bool
+	pendingList []*job.Job
+	pendingLive int
+	pendScratch []*job.Job
+	dirtyAccum  []*job.Job
+	dirtyRound  []*job.Job
+	nofit       []nofitShape
+	nofitEpoch  uint64
+	nofitHR     float64
+	nofitValid  bool
+	gangFail    []gangFailSlot
+
 	// Round feedback, filled by the simulator for reward-driven policies
 	// (MLF-RL, §3.4): jobs completed since the previous round and the
 	// cross-server traffic generated since then.
@@ -86,6 +109,9 @@ type Context struct {
 	// MigratedMB is the task-state bytes moved by migrations.
 	MigratedMB float64
 	Stopped    []*job.Job
+	// Skipped marks that the scheduler proved the round a no-op and
+	// skipped its decision logic (see RoundSkipper).
+	Skipped bool
 }
 
 // NewContext assembles a round context. jobs must contain every
@@ -129,6 +155,7 @@ func (c *Context) Reset(now float64, jobs []*job.Job, waiting map[job.TaskID]*jo
 	c.Evictions = 0
 	c.MigratedMB = 0
 	c.Stopped = c.Stopped[:0]
+	c.Skipped = false
 }
 
 // Jobs returns every non-finished job, ordered by id.
@@ -189,6 +216,10 @@ func (c *Context) Place(t *job.Task, server, device int) error {
 	delete(c.waiting, t.ID)
 	t.Job.PlacedTasks++
 	c.Placements++
+	c.MarkDirty(t.Job)
+	if t.Job.PlacedTasks == len(t.Job.Tasks) {
+		c.DropPending(t.Job)
+	}
 	return nil
 }
 
@@ -226,6 +257,8 @@ func (c *Context) Evict(t *job.Task) error {
 	c.waiting[t.ID] = t
 	t.Job.PlacedTasks--
 	c.Evictions++
+	c.MarkDirty(t.Job)
+	c.NotePending(t.Job)
 	return nil
 }
 
@@ -265,13 +298,19 @@ func TaskStateMB(t *job.Task) float64 {
 
 // QueuedTasksOf returns the queued tasks belonging to job j, in task order.
 func (c *Context) QueuedTasksOf(j *job.Job) []*job.Task {
-	var out []*job.Task
+	return c.QueuedTasksInto(j, nil)
+}
+
+// QueuedTasksInto appends j's queued tasks to buf and returns it: the
+// allocation-free form of QueuedTasksOf for scheduler round loops that
+// hold a reusable scratch slice.
+func (c *Context) QueuedTasksInto(j *job.Job, buf []*job.Task) []*job.Task {
 	for _, t := range j.Tasks {
 		if c.IsWaiting(t) {
-			out = append(out, t)
+			buf = append(buf, t)
 		}
 	}
-	return out
+	return buf
 }
 
 // FullyPlaced reports whether every task of j is placed.

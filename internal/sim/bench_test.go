@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
+	"mlfs/internal/core"
 	"mlfs/internal/job"
 	"mlfs/internal/sched"
 )
@@ -102,6 +104,71 @@ func BenchmarkWobbleDemands(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.wobbleDemands()
+	}
+}
+
+// benchBacklogSim builds a simulator whose entire trace has been admitted at
+// once onto a small cluster, so all but a handful of jobs sit in the
+// scheduling backlog. Two warm rounds fill the cluster and every
+// incremental cache (pending list, no-fit frontier, priority
+// components) so the benchmark loop measures the steady round, not cold
+// construction.
+func benchBacklogSim(tb testing.TB, jobs int, fullRescan bool) *Simulator {
+	tb.Helper()
+	s, err := New(Config{
+		Cluster:    testClusterCfg(),
+		Trace:      smallTrace(jobs, 99),
+		Scheduler:  core.NewMLFH(),
+		FullRescan: fullRescan,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Jump past the arrival window and admit the whole trace in one call.
+	s.now = 3601
+	if err := s.admitArrivals(); err != nil {
+		tb.Fatal(err)
+	}
+	if s.pending != len(s.jobs) {
+		tb.Fatalf("admitted %d of %d jobs", s.pending, len(s.jobs))
+	}
+	s.runScheduler()
+	s.runScheduler()
+	return s
+}
+
+// BenchmarkScheduleRound measures one MLF-H scheduling round against a
+// large backlog, swept over the dirty-set size: dirty=0% is the
+// journal-empty round (cached priorities, maintained pending list,
+// no-fit frontier all hot), dirty=1% is the typical online round, and
+// dirty=100% invalidates every job — the incremental worst case. The
+// fullrescan cells run the same round with the incremental structure
+// disabled, the oracle the dirty rounds are measured against.
+func BenchmarkScheduleRound(b *testing.B) {
+	for _, jobs := range []int{1_000, 10_000, 100_000} {
+		for _, mode := range []struct {
+			name       string
+			dirtyFrac  float64
+			fullRescan bool
+		}{
+			{"dirty=0%", 0, false},
+			{"dirty=1%", 0.01, false},
+			{"dirty=100%", 1, false},
+			{"fullrescan", 0, true},
+		} {
+			b.Run(fmt.Sprintf("backlog=%d/%s", jobs, mode.name), func(b *testing.B) {
+				s := benchBacklogSim(b, jobs, mode.fullRescan)
+				nDirty := int(mode.dirtyFrac * float64(len(s.active)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, j := range s.active[:nDirty] {
+						s.ctx.MarkDirty(j)
+					}
+					s.runScheduler()
+				}
+			})
+		}
 	}
 }
 

@@ -147,6 +147,11 @@ func (s *Simulator) failJob(j *job.Job) {
 		}
 		delete(s.waiting, t.ID)
 	}
+	// The job leaves the pending set (nothing queued while parked) and is
+	// journalled: its progress rollback and cleared queue membership
+	// invalidate whatever rankings a scheduler cached for it.
+	s.ctx.DropPending(j)
+	s.ctx.MarkDirty(j)
 	if j.SimSlot >= 0 {
 		s.cache[j.SimSlot].valid = false
 	}
@@ -205,6 +210,8 @@ func (s *Simulator) releaseParked() {
 			t.QueuedAt = s.now
 			s.waiting[t.ID] = t
 		}
+		s.ctx.NotePending(j)
+		s.ctx.MarkDirty(j)
 	}
 	s.parked = keep
 }

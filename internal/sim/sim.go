@@ -76,10 +76,12 @@ type Config struct {
 	MaxSimSec float64
 
 	// AdvanceWorkers is the number of goroutines computing per-job
-	// iteration costs within a tick (0 = GOMAXPROCS, 1 = fully serial).
-	// The computation reads frozen cluster state and all cross-job
-	// effects are applied in a serial merge in job order, so results are
-	// bit-identical for every worker count.
+	// iteration costs and merging fixed job-index shards within a tick
+	// (0 = GOMAXPROCS, 1 = fully serial). Both phases read frozen
+	// cluster state; cross-job effects (finishes, bandwidth totals) are
+	// deferred to a serial reduction whose order is a pure function of
+	// the active-job count, so results are bit-identical for every
+	// worker count.
 	AdvanceWorkers int
 
 	// DenseTicks disables the sparse-core hot-set optimisations —
@@ -90,6 +92,14 @@ type Config struct {
 	// way (the cross-check suite proves it); dense mode exists as the
 	// correctness oracle and requires a materialised Trace.
 	DenseTicks bool //mlfs:transient run-mode knob; a resume may legally flip it (results are bit-identical either way)
+
+	// FullRescan disables the incremental scheduling rounds of the
+	// sparse core: the context is Reset (not Advanced) every round, no
+	// change journal is delivered, PendingJobs rescans the backlog and
+	// the no-fit frontier is off. It is the round-structure correctness
+	// oracle the incremental path is cross-checked against; results are
+	// bit-identical either way. Dense mode implies it.
+	FullRescan bool //mlfs:transient run-mode knob; a resume may legally flip it (results are bit-identical either way)
 
 	// Straggler injection (§3.3.3 notes stragglers from failing hardware
 	// and misconfiguration; handling them is the paper's future work,
@@ -197,9 +207,29 @@ type advState struct {
 	fully bool
 }
 
+// finishRec is one job that completed during the merge phase, finalised
+// serially (in ascending job order) after every shard has merged.
+type finishRec struct {
+	j  *job.Job
+	at float64
+}
+
 // minParallelAdvance is the active-job count below which the preparation
 // phase runs inline: fan-out overhead would exceed the work.
 const minParallelAdvance = 16
+
+// advShardSize is the fixed job-index range one merge shard covers. The
+// shard count is a pure function of the active-job count — never of the
+// worker count — which is what makes the sharded merge bit-identical
+// for any parallelism, including fully serial.
+const advShardSize = 64
+
+// Pool phases: the parked advance workers run either the per-job cost
+// preparation or the per-shard merge, selected by Simulator.poolPhase.
+const (
+	poolPrepare = iota
+	poolMerge
+)
 
 // advancePool is a persistent worker pool that computes per-job
 // iteration costs against frozen cluster state. It exists so the
@@ -284,6 +314,20 @@ type Simulator struct {
 	parkedScratch []*job.Job     //mlfs:derived per-tick scratch (also reused by the encoder's park scan)
 	workers       int
 	pool          *advancePool //mlfs:derived worker pool, rebuilt by New
+
+	// Sharded-merge scratch (see advance): survivors and finish
+	// candidates land in fixed per-shard regions of flat arrays,
+	// bandwidth in per-shard accumulators, all folded serially after the
+	// shards complete. advDT/numShards/poolPhase parameterise the tick
+	// being merged for the parked workers.
+	survScratch []*job.Job  //mlfs:derived per-tick shard scratch
+	finScratch  []finishRec //mlfs:derived per-tick shard scratch
+	survCount   []int       //mlfs:derived per-shard survivor counts
+	finCount    []int       //mlfs:derived per-shard finish counts
+	shardBW     []float64   //mlfs:derived per-shard bandwidth accumulators
+	advDT       float64     //mlfs:derived dt of the tick being merged
+	numShards   int         //mlfs:derived shard count of the tick being merged
+	poolPhase   int         //mlfs:derived pool phase selector, set before each fan-out
 }
 
 // New assembles a simulator: trace mode materialises the whole workload
@@ -361,6 +405,11 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Failures.Enabled() {
 		f := cfg.Failures
 		s.faults = cluster.NewFaultProcess(cl.NumServers(), f.MTTFSec, f.MTTRSec, f.Seed)
+	}
+	// Incremental rounds are the sparse-core default; dense mode and the
+	// explicit FullRescan oracle keep the historical full-scan rounds.
+	if !cfg.DenseTicks && !cfg.FullRescan {
+		s.ctx.EnableIncremental()
 	}
 	return s, nil
 }
@@ -529,6 +578,8 @@ func (s *Simulator) admitArrivals() error {
 			t.QueuedAt = s.now
 			s.waiting[t.ID] = t
 		}
+		s.ctx.NotePending(j)
+		s.ctx.MarkDirty(j)
 		if !s.cfg.DenseTicks {
 			if s.src != nil {
 				s.ctx.AddJob(j)
@@ -636,9 +687,20 @@ func (s *Simulator) wobbleDemands() {
 
 // runScheduler invokes the policy and applies its stop decisions. The
 // waiting map is shared with the context, so placements and evictions are
-// reflected in it the moment Schedule returns — no rebuild.
+// reflected in it the moment Schedule returns — no rebuild. Incremental
+// rounds Advance the context (swapping in the change journal accumulated
+// since the previous round) and deliver it to schedulers that opt in via
+// sched.Incremental before Schedule runs.
 func (s *Simulator) runScheduler() {
-	s.ctx.Reset(s.now, s.active, s.waiting)
+	if s.ctx.Incremental() {
+		s.ctx.Advance(s.now, s.active, s.waiting)
+		if inc, ok := s.sched.(sched.Incremental); ok {
+			inc.Dirty(s.ctx.RoundDirty())
+		}
+		s.counters.DirtyJobs += len(s.ctx.RoundDirty())
+	} else {
+		s.ctx.Reset(s.now, s.active, s.waiting)
+	}
 	s.ctx.Completed = s.recentCompleted
 	s.ctx.RecentBandwidthMB = s.counters.BandwidthMB - s.lastBWMark
 	// The buffer handed to the previous round has been consumed; recycle
@@ -649,6 +711,9 @@ func (s *Simulator) runScheduler() {
 	s.sched.Schedule(s.ctx)
 	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock,detflow telemetry: wall-time counter only; zeroed by the determinism tests
 	s.counters.SchedRounds++
+	if s.ctx.Skipped {
+		s.counters.SkippedRounds++
+	}
 
 	s.counters.Placements += s.ctx.Placements
 	s.counters.Migrations += s.ctx.Migrations
@@ -818,54 +883,130 @@ func (s *Simulator) effBW(server int) float64 {
 
 // advance moves training forward by dt seconds.
 //
-// It runs in two phases. The preparation phase computes each active job's
-// iteration cost against the cluster state frozen at tick start; jobs are
-// independent there, so it fans out over the worker pool. The merge phase
-// walks jobs in order and applies everything with cross-job effects:
-// counters, deadline snapshots and job finishes. A finish frees the job's
-// resources mid-merge — exactly as the historical serial loop did — which
-// bumps the touched servers' epochs, so any later job whose cost that
-// changes fails its freshness check and is recomputed serially at its
-// merge position. Results are therefore bit-identical to the fully serial
-// execution for every worker count.
+// It runs in two parallel phases plus a serial reduction. The
+// preparation phase computes each active job's iteration cost against
+// the cluster state frozen at tick start; jobs are independent there, so
+// it fans out over the worker pool. The merge phase partitions the
+// active list into fixed job-index shards of advShardSize and walks each
+// shard with a single ascending-order accumulator (the same contract as
+// the NN engine's accumGrad): progress, waiting time, deadline
+// snapshots, predictor observations and checkpoints are job-local;
+// survivors and finish candidates land in per-shard regions of flat
+// scratch arrays; cross-server bandwidth folds into a per-shard
+// accumulator. The serial reduction then combines the shard bandwidth
+// sums in a balanced binary tree, concatenates the survivor regions in
+// shard order (= ascending job order), and applies the deferred finishes
+// in the same order.
+//
+// Every job therefore observes the cluster exactly as it stood at tick
+// start — a finish no longer frees resources mid-merge for later jobs of
+// the same tick; the freed capacity becomes visible at the next round,
+// one tick later, like any other end-of-tick event. The shard count is a
+// pure function of the active-job count, so results are bit-identical
+// for every worker count, including fully serial; the dense oracle runs
+// the identical sharded merge.
 func (s *Simulator) advance(dt float64) {
 	n := len(s.active)
 	if cap(s.adv) < n {
 		s.adv = make([]advState, n)
 	}
 	s.adv = s.adv[:n]
-	if s.workers > 1 && n >= minParallelAdvance {
-		s.prepareParallel()
+	parallel := s.workers > 1 && n >= minParallelAdvance
+	if parallel {
+		s.runPool(poolPrepare)
 	} else {
 		for i := range s.active {
 			s.prepare(i)
 		}
 	}
 
+	s.advDT = dt
+	s.numShards = (n + advShardSize - 1) / advShardSize
+	s.growMergeScratch(n)
+	if parallel {
+		s.runPool(poolMerge)
+	} else {
+		for k := 0; k < s.numShards; k++ {
+			s.mergeShard(k)
+		}
+	}
+
+	// Serial reduction. The tree fold's shape depends only on the shard
+	// count — itself a pure function of n — so the float summation order
+	// is fixed for every worker count.
+	s.counters.BandwidthMB += treeCombine(s.shardBW[:s.numShards])
 	still := s.activeScratch[:0]
-	for i, j := range s.active {
+	for k := 0; k < s.numShards; k++ {
+		lo := k * advShardSize
+		still = append(still, s.survScratch[lo:lo+s.survCount[k]]...)
+	}
+	for k := 0; k < s.numShards; k++ {
+		lo := k * advShardSize
+		for _, f := range s.finScratch[lo : lo+s.finCount[k]] {
+			s.finishJob(f.j, f.at, job.Finished)
+		}
+	}
+	s.activeScratch = s.active[:0]
+	s.active = still
+}
+
+// growMergeScratch sizes the sharded-merge scratch for n active jobs
+// (allocation-free once the high-water mark is reached).
+func (s *Simulator) growMergeScratch(n int) {
+	if cap(s.survScratch) < n {
+		s.survScratch = make([]*job.Job, n)
+		s.finScratch = make([]finishRec, n)
+	}
+	s.survScratch = s.survScratch[:n]
+	s.finScratch = s.finScratch[:n]
+	if cap(s.survCount) < s.numShards {
+		s.survCount = make([]int, s.numShards)
+		s.finCount = make([]int, s.numShards)
+		s.shardBW = make([]float64, s.numShards)
+	}
+	s.survCount = s.survCount[:s.numShards]
+	s.finCount = s.finCount[:s.numShards]
+	s.shardBW = s.shardBW[:s.numShards]
+}
+
+// mergeShard merges the active jobs of shard k: index range
+// [k·advShardSize, min((k+1)·advShardSize, n)). It reads only the
+// tick-start frozen cluster state and the costs prepared in phase one,
+// mutates only per-job fields and the shard's own scratch regions, and
+// defers every cross-job effect (finishes, the bandwidth counter) to the
+// serial reduction — which is what makes concurrent shard execution
+// race-free and order-independent.
+func (s *Simulator) mergeShard(k int) {
+	dt := s.advDT
+	lo := k * advShardSize
+	hi := lo + advShardSize
+	if hi > len(s.active) {
+		hi = len(s.active)
+	}
+	var bw float64
+	ns, nf := 0, 0
+	for i := lo; i < hi; i++ {
+		j := s.active[i]
 		if j.Done() {
 			continue
 		}
 		if !s.adv[i].fully {
 			j.WaitingTime += dt
 			s.snapDeadline(j, dt, 0)
-			still = append(still, j)
+			s.survScratch[lo+ns] = j
+			ns++
 			continue
 		}
 		if j.State == job.Pending {
 			j.State = job.Running
 			j.EverPlaced = true
 		}
-		c := s.cacheEntry(j)
-		if !(c.valid && s.cacheFresh(c)) {
-			// A job finishing earlier in this merge freed resources on a
-			// server this job touches; observe the post-finish state just
-			// like the serial loop would.
-			s.computeIterCost(j, c)
-		}
+		// fully=true means prepare resolved the cache entry against the
+		// frozen cluster this tick; nothing has mutated since, so the
+		// entry is valid by construction (and SimSlot is assigned).
+		c := &s.cache[j.SimSlot]
 		iterSec, crossMB := c.iterSec, c.crossMB
-		if f := s.stragglerFactor(j); f > 1 {
+		if f := s.stragglerFactor(j, &bw); f > 1 {
 			iterSec *= f
 		}
 		delta := dt / iterSec
@@ -878,7 +1019,7 @@ func (s *Simulator) advance(dt float64) {
 		old := j.Progress
 		j.Progress = old + delta
 		if crossMB > 0 {
-			s.counters.BandwidthMB += crossMB * delta
+			bw += crossMB * delta
 		}
 		s.observe(j, old)
 		if s.faults != nil {
@@ -890,13 +1031,30 @@ func (s *Simulator) advance(dt float64) {
 			if finishAt > s.now+dt {
 				finishAt = s.now + dt
 			}
-			s.finishJob(j, finishAt, job.Finished)
+			s.finScratch[lo+nf] = finishRec{j, finishAt}
+			nf++
 			continue
 		}
-		still = append(still, j)
+		s.survScratch[lo+ns] = j
+		ns++
 	}
-	s.activeScratch = s.active[:0]
-	s.active = still
+	s.survCount[k] = ns
+	s.finCount[k] = nf
+	s.shardBW[k] = bw
+}
+
+// treeCombine folds per-shard float accumulators with a balanced binary
+// midpoint-split reduction. The association order is a pure function of
+// the slice length, never of scheduling or worker count.
+func treeCombine(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if len(x) == 1 {
+		return x[0]
+	}
+	mid := len(x) / 2
+	return treeCombine(x[:mid]) + treeCombine(x[mid:])
 }
 
 // prepare computes the phase-one state for active job i: whether it is
@@ -934,12 +1092,22 @@ func (s *Simulator) ensurePool() {
 	for w := 0; w < p.n; w++ {
 		go func() {
 			for range p.kick {
-				for {
-					i := int(p.next.Add(1)) - 1
-					if i >= len(s.active) {
-						break
+				if s.poolPhase == poolPrepare {
+					for {
+						i := int(p.next.Add(1)) - 1
+						if i >= len(s.active) {
+							break
+						}
+						s.prepare(i)
 					}
-					s.prepare(i)
+				} else {
+					for {
+						k := int(p.next.Add(1)) - 1
+						if k >= s.numShards {
+							break
+						}
+						s.mergeShard(k)
+					}
 				}
 				p.wg.Done()
 			}
@@ -947,8 +1115,12 @@ func (s *Simulator) ensurePool() {
 	}
 }
 
-func (s *Simulator) prepareParallel() {
+// runPool fans one phase (prepare or merge) out over the parked
+// workers. poolPhase and the phase's inputs are written before the kick
+// sends, which happen-before each worker's receive.
+func (s *Simulator) runPool(phase int) {
 	s.ensurePool()
+	s.poolPhase = phase
 	s.pool.next.Store(0)
 	s.pool.wg.Add(s.pool.n)
 	for i := 0; i < s.pool.n; i++ {
@@ -969,8 +1141,9 @@ func (s *Simulator) closePool() {
 // Deterministic: the decision hashes (job, tick index), so runs reproduce
 // exactly. With replication enabled the first-finisher replica bounds the
 // slowdown at 10% of the injected penalty, and the incident pays one
-// task-state transfer.
-func (s *Simulator) stragglerFactor(j *job.Job) float64 {
+// task-state transfer — charged to bw, the calling shard's bandwidth
+// accumulator, at the job's position in shard order.
+func (s *Simulator) stragglerFactor(j *job.Job, bw *float64) float64 {
 	if s.cfg.StragglerProb <= 0 {
 		return 1
 	}
@@ -988,7 +1161,7 @@ func (s *Simulator) stragglerFactor(j *job.Job) float64 {
 				maxState = mb
 			}
 		}
-		s.counters.BandwidthMB += maxState
+		*bw += maxState
 		return 1 + (s.cfg.StragglerSlow-1)*0.1
 	}
 	return s.cfg.StragglerSlow
@@ -1042,6 +1215,7 @@ func (s *Simulator) finishJob(j *job.Job, at float64, state job.State) {
 		}
 		delete(s.waiting, t.ID)
 	}
+	s.ctx.DropPending(j)
 	j.State = state
 	j.FinishTime = at
 	s.recentCompleted = append(s.recentCompleted, j)

@@ -238,6 +238,16 @@ func (s *Simulator) Restore(payload []byte) error {
 		}
 		j.PlacedTasks = placed
 	}
+	// Rebuild the derived incremental-round state from the restored
+	// queue: Reset points the context at the restored views, then
+	// ResetIncremental re-seeds the pending list and journals every
+	// pending job as dirty — over-invalidation that is harmless by the
+	// journal contract (the freshly restored schedulers carry no warm
+	// caches to invalidate anyway, their DecodeState cleared them).
+	if s.ctx.Incremental() {
+		s.ctx.Reset(s.now, s.active, s.waiting)
+		s.ctx.ResetIncremental()
+	}
 	return nil
 }
 

@@ -59,7 +59,7 @@ func runToEnd(t testing.TB, cfg sim.Config) *metrics.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res.Counters.SchedSeconds = 0
+	res.Counters.ZeroVolatile()
 	return res
 }
 
@@ -142,7 +142,7 @@ func runChaosCfg(t *testing.T, mkcfg func() sim.Config, seed int64) {
 		segment(k) // killed here: partial result discarded, snapshot survives
 	}
 	final := segment(0) // last restart runs to completion
-	final.Counters.SchedSeconds = 0
+	final.Counters.ZeroVolatile()
 
 	if !reflect.DeepEqual(golden, final) {
 		t.Fatalf("crash–replay lineage diverged from uninterrupted run (kills at %v):\ngolden: %+v\nfinal:  %+v",

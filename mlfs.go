@@ -26,6 +26,7 @@ import (
 	"mlfs/internal/core"
 	"mlfs/internal/core/mlfc"
 	"mlfs/internal/core/mlfrl"
+	"mlfs/internal/job"
 	"mlfs/internal/metrics"
 	"mlfs/internal/sched"
 	"mlfs/internal/snapshot"
@@ -59,6 +60,11 @@ func (s *composite) Schedule(ctx *sched.Context) {
 	s.rl.Schedule(ctx)
 	s.c.Control(ctx)
 }
+
+// Dirty implements sched.Incremental by forwarding the round journal to
+// MLF-RL's priority engine. MLF-C keeps no per-job caches (it reads the
+// live context each Control call), so it needs no notification.
+func (s *composite) Dirty(jobs []*job.Job) { s.rl.Dirty(jobs) }
 
 // Close releases MLF-RL's neural-engine worker pool (the simulator
 // calls it at the end of a run).

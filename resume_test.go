@@ -101,7 +101,8 @@ func TestSnapshotGoldenRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resumed.Counters.SchedSeconds, golden.Counters.SchedSeconds = 0, 0
+			resumed.Counters.ZeroVolatile()
+			golden.Counters.ZeroVolatile()
 			if !reflect.DeepEqual(resumed, golden) {
 				t.Fatalf("resumed run diverged from uninterrupted run:\n%+v\n%+v", resumed, golden)
 			}
@@ -171,7 +172,8 @@ func TestSnapshotResumeWhileParked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed.Counters.SchedSeconds, golden.Counters.SchedSeconds = 0, 0
+	resumed.Counters.ZeroVolatile()
+	golden.Counters.ZeroVolatile()
 	if !reflect.DeepEqual(resumed, golden) {
 		t.Fatalf("resume from parked state diverged:\n%+v\n%+v", resumed, golden)
 	}
@@ -237,7 +239,8 @@ func TestResumeNoiseStreamRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed.Counters.SchedSeconds, golden.Counters.SchedSeconds = 0, 0
+	resumed.Counters.ZeroVolatile()
+	golden.Counters.ZeroVolatile()
 	if !reflect.DeepEqual(resumed, golden) {
 		t.Fatalf("resume replayed a different noise stream:\navgJCT %v vs %v min\nmigrations %v vs %v",
 			resumed.AvgJCTSec/60, golden.AvgJCTSec/60, resumed.Counters.Migrations, golden.Counters.Migrations)
@@ -271,7 +274,8 @@ func TestResumeFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed.Counters.SchedSeconds, golden.Counters.SchedSeconds = 0, 0
+	resumed.Counters.ZeroVolatile()
+	golden.Counters.ZeroVolatile()
 	if !reflect.DeepEqual(resumed, golden) {
 		t.Fatalf("Resume diverged from Run:\n%+v\n%+v", resumed, golden)
 	}

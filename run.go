@@ -72,6 +72,15 @@ type Options struct {
 	// for perf comparisons. Incompatible with Source.
 	DenseTicks bool
 
+	// FullRescan disables the incremental round structure (dirty-set
+	// journal, pending list, no-fit frontier, cached priorities, round
+	// skipping) while keeping the sparse event core: every round rescans
+	// the full backlog exactly as the historical scheduler loop did.
+	// Results are bit-identical to the default incremental path; the
+	// switch exists as the round-structure oracle and for perf
+	// comparisons. Dense mode implies it.
+	FullRescan bool
+
 	// Preset selects the cluster scale (default PaperReal). Servers and
 	// GPUsPerServer, when both non-zero, override the preset.
 	Preset        ClusterPreset
@@ -246,6 +255,7 @@ func newSimulator(opts Options) (*sim.Simulator, error) {
 		Trace:               tr,
 		Source:              opts.Source,
 		DenseTicks:          opts.DenseTicks,
+		FullRescan:          opts.FullRescan,
 		Scheduler:           s,
 		TickSec:             opts.TickSec,
 		HR:                  opts.HR,
@@ -268,6 +278,27 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 	return simulator.Run()
+}
+
+// RoundScan re-exports the simulator's backlogged round-scan probe
+// result (see RoundScanBench).
+type RoundScan = sim.RoundScan
+
+// RoundScanBench builds the configured run, admits its entire workload
+// as a standing backlog, saturates the cluster with warm-up rounds, and
+// times scheduling rounds in which dirtyFrac of the live jobs is marked
+// dirty. It isolates the round's scan-and-rank cost — the component the
+// incremental dirty-set structure turns from O(backlog) into O(dirty) —
+// from the placement and migration work both modes share; run it once
+// with opts.FullRescan=false and once with true to compare the
+// incremental round against the full-rescan oracle on an identical
+// backlog (the probes' Placements checksums must match).
+func RoundScanBench(opts Options, dirtyFrac float64, rounds int) (RoundScan, error) {
+	simulator, err := newSimulator(opts)
+	if err != nil {
+		return RoundScan{}, err
+	}
+	return simulator.RoundScanBench(dirtyFrac, rounds)
 }
 
 // Resume continues a run from a snapshot written by a previous Run with
