@@ -16,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint docs race race-nn race-fault race-incremental resume scale ci bench nnbench simbench faultbench scalebench profile
+.PHONY: all build test vet lint docs race race-nn race-fault race-incremental resume scale serve-smoke ci bench nnbench simbench faultbench scalebench profile
 
 all: build
 
@@ -71,7 +71,14 @@ race-incremental:
 scale:
 	$(GO) run -race ./cmd/mlfs-bench -scalebench -scalebench-jobs 200,400 -scalebench-servers 8 -out /tmp/mlfs-scale-smoke
 
-ci: vet lint docs test race-nn race-fault race-incremental resume scale race
+# Service smoke: boot the HTTP service in-process, drive 1000 seeded
+# submissions through the API with the load generator, drain, and
+# require /v1/result and /metrics to be bit-identical to a batch
+# simulation over the journaled workload (DESIGN.md §14).
+serve-smoke:
+	$(GO) test ./internal/loadgen/ -run 'TestServeSmokeParity|TestOpenLoopAgainstLiveServer' -count=1 -v
+
+ci: vet lint docs test race-nn race-fault race-incremental resume scale serve-smoke race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation

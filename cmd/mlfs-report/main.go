@@ -110,8 +110,12 @@ func main() {
 	if _, err := os.Stat(scalePath); err != nil {
 		scalePath = ""
 	}
-	if len(paths) == 0 && faultPath == "" && scalePath == "" {
-		fatal(fmt.Errorf("no TSV files, BENCH_fault.json or BENCH_scale.json in %s", *in))
+	servePath := filepath.Join(*in, "BENCH_serve.json")
+	if _, err := os.Stat(servePath); err != nil {
+		servePath = ""
+	}
+	if len(paths) == 0 && faultPath == "" && scalePath == "" && servePath == "" {
+		fatal(fmt.Errorf("no TSV files, BENCH_fault.json, BENCH_scale.json or BENCH_serve.json in %s", *in))
 	}
 	sort.Strings(paths)
 	var filter map[string]bool
@@ -152,6 +156,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(scaleTable(sf))
+	}
+	// And the service benchmark, under the figure id "serve".
+	if servePath != "" && (filter == nil || filter["serve"]) {
+		sf, err := parseServeJSON(servePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(serveTable(sf))
 	}
 }
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// serveEntry mirrors one entry of results/BENCH_serve.json as written
+// by mlfs-loadgen -json: one load-generator run against a live
+// mlfs-serve instance, with client-observed submit latency and the
+// server's decision-latency histogram quantiles.
+type serveEntry struct {
+	Mode        string  `json:"mode"`
+	Jobs        int     `json:"jobs"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"trace_duration_sec"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Cancelled int `json:"cancelled"`
+
+	WallSeconds       float64 `json:"wall_seconds"`
+	SubmissionsPerMin float64 `json:"submissions_per_min"`
+
+	SubmitP50Ms float64 `json:"submit_p50_ms"`
+	SubmitP99Ms float64 `json:"submit_p99_ms"`
+
+	DecisionRounds int     `json:"decision_rounds"`
+	DecisionP50Ms  float64 `json:"decision_p50_ms"`
+	DecisionP99Ms  float64 `json:"decision_p99_ms"`
+	DecisionMeanMs float64 `json:"decision_mean_ms"`
+
+	SimTimeSec float64 `json:"sim_time_sec"`
+
+	// The final /v1/result; metrics.Result marshals with Go field
+	// names, so only the columns the table needs are decoded.
+	Result struct {
+		Scheduler string
+		AvgJCTSec float64
+	} `json:"result"`
+}
+
+// serveFile is the envelope of BENCH_serve.json.
+type serveFile struct {
+	Headline string       `json:"headline"`
+	Entries  []serveEntry `json:"entries"`
+}
+
+func parseServeJSON(path string) (*serveFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf serveFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(sf.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no entries", path)
+	}
+	return &sf, nil
+}
+
+// serveTable renders the service benchmark as one Markdown table: a
+// row per load-generator run, throughput and both latency
+// distributions side by side.
+func serveTable(sf *serveFile) string {
+	var sb strings.Builder
+	sb.WriteString("### serve — online service throughput and latency\n\n")
+	if sf.Headline != "" {
+		fmt.Fprintf(&sb, "%s\n\n", sf.Headline)
+	}
+	sb.WriteString("| scheduler | mode | jobs | wall (s) | submissions/min | submit p50 (ms) | submit p99 (ms) | decision p50 (ms) | decision p99 (ms) | rounds | completed | avg JCT (min) |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, e := range sf.Entries {
+		fmt.Fprintf(&sb, "| %s | %s | %d | %.2f | %.0f | %.3f | %.3f | %.3f | %.3f | %d | %d | %.1f |\n",
+			e.Result.Scheduler, e.Mode, e.Jobs, e.WallSeconds, e.SubmissionsPerMin,
+			e.SubmitP50Ms, e.SubmitP99Ms, e.DecisionP50Ms, e.DecisionP99Ms,
+			e.DecisionRounds, e.Completed, e.Result.AvgJCTSec/60)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

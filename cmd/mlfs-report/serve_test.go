@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseServeJSONAndTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	content := `{
+		"generated_at": "2026-08-08T00:00:00Z",
+		"headline": "replay: 210978 submissions/min, decision p99 46.873 ms",
+		"entries": [
+			{"mode": "replay", "jobs": 1000, "seed": 1,
+			 "trace_duration_sec": 75000, "submitted": 1000,
+			 "completed": 1000, "cancelled": 0, "wall_seconds": 77.8,
+			 "submissions_per_min": 210978, "submit_p50_ms": 0.21,
+			 "submit_p99_ms": 0.853, "decision_rounds": 3877,
+			 "decision_p50_ms": 9.1, "decision_p99_ms": 46.873,
+			 "decision_mean_ms": 12.4, "sim_time_sec": 432000,
+			 "result": {"Scheduler": "mlfs", "AvgJCTSec": 6090}}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := parseServeJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Entries) != 1 || sf.Entries[0].Result.Scheduler != "mlfs" {
+		t.Fatalf("parsed %+v", sf)
+	}
+	md := serveTable(sf)
+	for _, want := range []string{
+		"### serve — online service throughput and latency",
+		"replay: 210978 submissions/min",
+		"| mlfs | replay | 1000 | 77.80 | 210978 | 0.210 | 0.853 | 9.100 | 46.873 | 3877 | 1000 | 101.5 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("serve table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestParseServeJSONErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.json": "{not json",
+		"empty.json":   `{"headline": "x", "entries": []}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseServeJSON(p); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := parseServeJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+}

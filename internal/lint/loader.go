@@ -55,6 +55,7 @@ var DeterministicPaths = []string{
 	"mlfs/internal/snapshot",
 	"mlfs/internal/trace",
 	"mlfs/internal/philly",
+	"mlfs/internal/serve",
 }
 
 // Package is one loaded, parsed and type-checked package. Test files

@@ -1,0 +1,364 @@
+// Package loadgen drives an mlfs-serve instance with a seeded
+// synthetic workload and measures service-side scheduling behaviour
+// from the outside: client-observed submission latency, server-reported
+// decision latency, and end-to-end throughput.
+//
+// Two modes:
+//
+//   - replay (closed loop, the default): the server is paused, the
+//     whole workload is submitted with its generated arrival stamps,
+//     then the clock is resumed and the generator waits for the run to
+//     drain. Because the submitted records are exactly a Generate
+//     trace, the drained server's /v1/result must equal the batch
+//     oracle's result for the same records — the parity check behind
+//     `make serve-smoke`.
+//
+//   - open (open loop): submissions are paced against the wall clock
+//     at -rps without pausing the server, arrival stamps assigned by
+//     the server. Measures the service under concurrent load; the
+//     workload is still journaled and replayable, but not precomputed.
+//
+// The package is a pure HTTP client of the service API — it shares no
+// state with internal/serve and imports nothing from it, so the
+// numbers it reports go through the same path an operator's tooling
+// would use.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"mlfs/internal/metrics"
+	"mlfs/internal/trace"
+)
+
+// Config parameterises one load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Jobs and Seed generate the workload (trace.Generate), arriving
+	// over DurationSec simulated seconds.
+	Jobs        int
+	Seed        int64
+	DurationSec float64
+	// Open switches to open-loop mode; RPS is the wall-clock submission
+	// rate (required > 0 in open mode).
+	Open bool
+	RPS  float64
+	// PollInterval is the drain-poll cadence (default 50 ms).
+	PollInterval time.Duration
+	// Timeout bounds the whole run (default 10 min).
+	Timeout time.Duration
+	// Client overrides the HTTP client (default: http.DefaultClient
+	// with the run timeout per request).
+	Client *http.Client
+}
+
+// Report is the measured outcome of one run, serialised into
+// results/BENCH_serve.json by cmd/mlfs-loadgen.
+type Report struct {
+	Mode        string  `json:"mode"`
+	Jobs        int     `json:"jobs"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"trace_duration_sec"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Cancelled int `json:"cancelled"`
+
+	WallSeconds       float64 `json:"wall_seconds"`
+	SubmitWallSeconds float64 `json:"submit_wall_seconds"`
+	SubmissionsPerMin float64 `json:"submissions_per_min"`
+
+	SubmitP50Ms float64 `json:"submit_p50_ms"`
+	SubmitP99Ms float64 `json:"submit_p99_ms"`
+
+	// Decision latency percentiles come from the server's
+	// mlfs_decision_latency_seconds histogram (linear interpolation
+	// within the matched bucket, the standard Prometheus estimate).
+	DecisionRounds int     `json:"decision_rounds"`
+	DecisionP50Ms  float64 `json:"decision_p50_ms"`
+	DecisionP99Ms  float64 `json:"decision_p99_ms"`
+	DecisionMeanMs float64 `json:"decision_mean_ms"`
+
+	SimTimeSec float64 `json:"sim_time_sec"`
+
+	// Result is the drained server's /v1/result — in replay mode,
+	// comparable against the batch oracle for the same records.
+	Result *metrics.Result `json:"result"`
+}
+
+// Records generates the deterministic workload a run submits: exactly
+// trace.Generate over (jobs, seed, durationSec), so the same triple
+// always produces the same records and a batch simulation over them is
+// the oracle for the served run.
+func Records(jobs int, seed int64, durationSec float64) []trace.Record {
+	return trace.Generate(trace.GenConfig{Jobs: jobs, Seed: seed, DurationSec: durationSec}).Records
+}
+
+// submitBody mirrors the service's SubmitRequest (kept textual here:
+// the generator is a client of the public API, not of internal/serve).
+type submitBody struct {
+	GPUs             int      `json:"gpus"`
+	Family           string   `json:"family,omitempty"`
+	Comm             string   `json:"comm,omitempty"`
+	Urgency          int      `json:"urgency,omitempty"`
+	TargetFrac       float64  `json:"target_frac,omitempty"`
+	TrainDataMB      float64  `json:"train_data_mb,omitempty"`
+	CommVolPSMB      float64  `json:"comm_vol_ps_mb,omitempty"`
+	CommVolWWMB      float64  `json:"comm_vol_ww_mb,omitempty"`
+	DeadlineSlackSec float64  `json:"deadline_slack_sec,omitempty"`
+	StopOption       string   `json:"stop_option,omitempty"`
+	AllowDowngrade   *bool    `json:"allow_downgrade,omitempty"`
+	Seed             int64    `json:"seed,omitempty"`
+	ArrivalSec       *float64 `json:"arrival_sec,omitempty"`
+}
+
+func bodyFor(r trace.Record, withArrival bool) submitBody {
+	b := submitBody{
+		GPUs:             r.GPUs,
+		Family:           r.Family.String(),
+		Comm:             r.Comm.String(),
+		Urgency:          r.Urgency,
+		TargetFrac:       r.TargetFrac,
+		TrainDataMB:      r.TrainDataMB,
+		CommVolPSMB:      r.CommVolPS,
+		CommVolWWMB:      r.CommVolWW,
+		DeadlineSlackSec: r.DeadlineSlackSec,
+		StopOption:       r.StopOption.String(),
+		AllowDowngrade:   &r.AllowDowngrade,
+		Seed:             r.Seed,
+	}
+	if withArrival {
+		a := r.ArrivalSec
+		b.ArrivalSec = &a
+	}
+	return b
+}
+
+// client wraps the HTTP plumbing.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		return fmt.Errorf("loadgen: POST %s: %s (%s)", path, resp.Status, apiErr.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (c *client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) getText(path string) (string, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("loadgen: GET %s: %s", path, resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// clusterView is the subset of /v1/cluster the generator reads.
+type clusterView struct {
+	Submitted  int     `json:"jobs_submitted"`
+	Queued     int     `json:"jobs_queued"`
+	Live       int     `json:"jobs_live"`
+	Completed  int     `json:"jobs_completed"`
+	Cancelled  int     `json:"jobs_cancelled"`
+	SimTimeSec float64 `json:"sim_time_sec"`
+	GPUs       int     `json:"gpus"`
+}
+
+// percentile returns the p-th percentile (0-100) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Run executes one load-generation run against a live server.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("loadgen: need a positive job count")
+	}
+	if cfg.DurationSec <= 0 {
+		return nil, fmt.Errorf("loadgen: need a positive trace duration")
+	}
+	if cfg.Open && cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop mode needs -rps > 0")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Minute
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &client{base: cfg.BaseURL, http: hc}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := c.get("/healthz", &health); err != nil {
+		return nil, fmt.Errorf("loadgen: server not reachable: %w", err)
+	}
+	if health.Status != "ok" {
+		return nil, fmt.Errorf("loadgen: server unhealthy: %s", health.Status)
+	}
+
+	records := Records(cfg.Jobs, cfg.Seed, cfg.DurationSec)
+	mode := "replay"
+	if cfg.Open {
+		mode = "open"
+	}
+
+	start := time.Now()
+	deadline := start.Add(timeout)
+
+	// Replay mode freezes the clock so the entire workload is enqueued
+	// with its generated arrival stamps before the first tick — the
+	// submitted stream is then byte-equal to the generated trace and
+	// the run has a batch oracle.
+	if !cfg.Open {
+		if err := c.post("/v1/pause", nil, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	lat := make([]float64, 0, len(records))
+	for i, r := range records {
+		if cfg.Open {
+			// Pace against the wall clock; no arrival stamp, the server
+			// assigns live arrivals.
+			next := start.Add(time.Duration(float64(i) / cfg.RPS * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		t0 := time.Now()
+		if err := c.post("/v1/jobs", bodyFor(r, !cfg.Open), nil); err != nil {
+			return nil, fmt.Errorf("loadgen: job %d: %w", i, err)
+		}
+		lat = append(lat, time.Since(t0).Seconds())
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: timeout after %d/%d submissions", i+1, len(records))
+		}
+	}
+	submitWall := time.Since(start).Seconds()
+
+	if !cfg.Open {
+		if err := c.post("/v1/resume", nil, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drain: all accepted submissions admitted and finalised.
+	var cv clusterView
+	for {
+		if err := c.get("/v1/cluster", &cv); err != nil {
+			return nil, err
+		}
+		if cv.Queued == 0 && cv.Live == 0 && cv.Submitted >= len(records) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: timeout draining: %d queued, %d live of %d", cv.Queued, cv.Live, cv.Submitted)
+		}
+		time.Sleep(poll)
+	}
+	wall := time.Since(start).Seconds()
+
+	var result metrics.Result
+	if err := c.get("/v1/result", &result); err != nil {
+		return nil, err
+	}
+	expo, err := c.getText("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	dh, err := parseHistogram(expo, "mlfs_decision_latency_seconds")
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Float64s(lat)
+	rep := &Report{
+		Mode:        mode,
+		Jobs:        cfg.Jobs,
+		Seed:        cfg.Seed,
+		DurationSec: cfg.DurationSec,
+
+		Submitted: cv.Submitted,
+		Completed: cv.Completed,
+		Cancelled: cv.Cancelled,
+
+		WallSeconds:       wall,
+		SubmitWallSeconds: submitWall,
+		SubmissionsPerMin: float64(len(records)) / submitWall * 60,
+
+		SubmitP50Ms: percentile(lat, 50) * 1e3,
+		SubmitP99Ms: percentile(lat, 99) * 1e3,
+
+		DecisionRounds: int(dh.count),
+		DecisionP50Ms:  dh.quantile(0.50) * 1e3,
+		DecisionP99Ms:  dh.quantile(0.99) * 1e3,
+		DecisionMeanMs: dh.mean() * 1e3,
+
+		SimTimeSec: cv.SimTimeSec,
+		Result:     &result,
+	}
+	return rep, nil
+}

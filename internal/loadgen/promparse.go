@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-exposition parsing: just enough to read one
+// cumulative histogram back out of /metrics. Quantiles use the
+// standard linear-interpolation-within-bucket estimate, so the numbers
+// match what a Grafana histogram_quantile() over the same series
+// would show.
+
+// promHistogram is one parsed cumulative histogram.
+type promHistogram struct {
+	bounds []float64 // upper bounds, ascending, +Inf last
+	counts []uint64  // cumulative counts per bound
+	sum    float64
+	count  uint64
+}
+
+// parseHistogram extracts the named histogram from an exposition.
+func parseHistogram(expo, name string) (*promHistogram, error) {
+	h := &promHistogram{}
+	for _, line := range strings.Split(expo, "\n") {
+		if len(line) == 0 || line[0] == '#' || !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		switch {
+		case strings.HasPrefix(rest, "_bucket{le=\""):
+			rest = rest[len("_bucket{le=\""):]
+			q := strings.Index(rest, "\"")
+			if q < 0 {
+				return nil, fmt.Errorf("loadgen: malformed bucket line %q", line)
+			}
+			leStr, valStr := rest[:q], strings.TrimSpace(rest[q+2:])
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					return nil, fmt.Errorf("loadgen: bad bucket bound %q", leStr)
+				}
+			}
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad bucket count %q", valStr)
+			}
+			h.bounds = append(h.bounds, le)
+			h.counts = append(h.counts, v)
+		case strings.HasPrefix(rest, "_sum "):
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest[len("_sum "):]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad sum line %q", line)
+			}
+			h.sum = v
+		case strings.HasPrefix(rest, "_count "):
+			v, err := strconv.ParseUint(strings.TrimSpace(rest[len("_count "):]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad count line %q", line)
+			}
+			h.count = v
+		}
+	}
+	if len(h.bounds) == 0 {
+		return nil, fmt.Errorf("loadgen: histogram %s not found in exposition", name)
+	}
+	return h, nil
+}
+
+// quantile estimates the q-th quantile (0-1) by linear interpolation
+// within the first bucket whose cumulative count reaches rank q·count.
+func (h *promHistogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	for i, c := range h.counts {
+		if float64(c) < rank {
+			continue
+		}
+		hi := h.bounds[i]
+		lo := 0.0
+		var below uint64
+		if i > 0 {
+			lo = h.bounds[i-1]
+			below = h.counts[i-1]
+		}
+		if math.IsInf(hi, 1) {
+			// Open-ended last bucket: report its lower bound, the
+			// conventional conservative estimate.
+			return lo
+		}
+		in := float64(c - below)
+		if in == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(below))/in
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *promHistogram) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}

@@ -1,0 +1,232 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mlfs/internal/serve"
+	"mlfs/internal/trace"
+)
+
+// submitRecord posts one generated record through the API with its
+// explicit arrival stamp, mirroring what the load generator sends.
+func submitRecord(t *testing.T, base string, r trace.Record) {
+	t.Helper()
+	allow := r.AllowDowngrade
+	arrival := r.ArrivalSec
+	gpus := r.GPUs
+	if gpus > 8 {
+		gpus = 8 // clamp to the 2×4 test cluster; oversized jobs 400 at submit
+	}
+	body, _ := json.Marshal(map[string]any{
+		"gpus":               gpus,
+		"family":             r.Family.String(),
+		"comm":               r.Comm.String(),
+		"urgency":            r.Urgency,
+		"target_frac":        r.TargetFrac,
+		"train_data_mb":      r.TrainDataMB,
+		"comm_vol_ps_mb":     r.CommVolPS,
+		"comm_vol_ww_mb":     r.CommVolWW,
+		"deadline_slack_sec": r.DeadlineSlackSec,
+		"stop_option":        r.StopOption.String(),
+		"allow_downgrade":    allow,
+		"seed":               r.Seed,
+		"arrival_sec":        arrival,
+	})
+	if code := doJSON(t, "POST", base+"/v1/jobs", string(body), nil); code != 201 {
+		t.Fatalf("submit record %d: status %d", r.JobID, code)
+	}
+}
+
+// TestKillMidLoadRecovery is the crash-recovery chaos test: a server
+// with journal + snapshot cadence takes a workload, gets killed
+// mid-run with no warning (no drain, no final snapshot), restarts from
+// what hit disk, takes more load, and drains. The recovered run must
+// finalise every accepted submission and its final metrics must equal
+// the batch oracle replay of the journal — the proof that the kill
+// lost no accepted or completed job records.
+func TestKillMidLoadRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.SnapshotEvery = 5
+	cfg.SnapshotPath = filepath.Join(dir, "serve.snap")
+	cfg.JournalPath = filepath.Join(dir, "serve.journal")
+	cfg.StartPaused = true
+
+	const batch1, batch2 = 40, 20
+	records := trace.Generate(trace.GenConfig{Jobs: batch1, Seed: 42, DurationSec: 4 * 3600}).Records
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	s.Start()
+
+	for _, r := range records {
+		submitRecord(t, ts.URL, r)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume: status %d", code)
+	}
+
+	// Let the run make real progress — some completions and at least
+	// one cadence snapshot — then kill it cold.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cv struct {
+			Completed int `json:"jobs_completed"`
+			Queued    int `json:"jobs_queued"`
+			Live      int `json:"jobs_live"`
+		}
+		if code := doJSON(t, "GET", ts.URL+"/v1/cluster", "", &cv); code != 200 {
+			t.Fatalf("cluster: status %d", code)
+		}
+		snaps := scrapeGauge(t, ts.URL, "mlfs_snapshots_written_total")
+		if cv.Completed >= 5 && snaps >= 1 {
+			break
+		}
+		if cv.Queued == 0 && cv.Live == 0 {
+			break // drained before we could kill; recovery still testable
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress: %+v, %v snapshots", cv, snaps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Kill()
+	ts.Close()
+
+	// Restart from disk. The journal must hold every accepted
+	// submission; the snapshot (if one was cut) resumes mid-flight.
+	cfg2 := cfg // same paths, same config
+	s2, err := serve.New(cfg2)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	info := s2.Info()
+	if info.JournalRecords != batch1 {
+		t.Fatalf("journal records after kill: %d, want %d", info.JournalRecords, batch1)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	s2.Start()
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s2.Stop(ctx); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	})
+
+	// Every pre-kill submission is still known, none forgotten.
+	for id := 1; id <= batch1; id++ {
+		if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts2.URL, id), "", nil); code != 200 {
+			t.Fatalf("job %d lost across restart: status %d", id, code)
+		}
+	}
+
+	// More load after recovery: server-stamped arrivals, journaled like
+	// everything else.
+	for i := 0; i < batch2; i++ {
+		body := fmt.Sprintf(`{"gpus": %d, "seed": %d}`, 1+i%4, 1000+i)
+		if code := doJSON(t, "POST", ts2.URL+"/v1/jobs", body, nil); code != 201 {
+			t.Fatalf("post-restart submit %d: status %d", i, code)
+		}
+	}
+	if code := doJSON(t, "POST", ts2.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume after restart: status %d", code)
+	}
+	waitDrained(t, ts2.URL, batch1+batch2)
+
+	// All jobs finalised; nothing stuck, nothing lost.
+	for id := 1; id <= batch1+batch2; id++ {
+		var st struct {
+			State string `json:"state"`
+		}
+		if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts2.URL, id), "", &st); code != 200 {
+			t.Fatalf("job %d: status %d", id, code)
+		}
+		switch st.State {
+		case "finished", "stopped", "killed", "cancelled":
+		default:
+			t.Fatalf("job %d not finalised after drain: %q", id, st.State)
+		}
+	}
+
+	// The recovered run's metrics equal the batch oracle over the
+	// journal — the kill cost wall-clock time, not results.
+	var live json.RawMessage
+	if code := doJSON(t, "GET", ts2.URL+"/v1/result", "", &live); code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	journaled, err := serve.ReadJournal(cfg.JournalPath)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(journaled) != batch1+batch2 {
+		t.Fatalf("journal holds %d records, want %d", len(journaled), batch1+batch2)
+	}
+	oracle, err := serve.Oracle(cfg, journaled)
+	if err != nil {
+		t.Fatalf("Oracle: %v", err)
+	}
+	oracle.Counters.ZeroVolatile()
+	var liveRes, oracleRes map[string]any
+	if err := json.Unmarshal(live, &liveRes); err != nil {
+		t.Fatalf("decode live result: %v", err)
+	}
+	ob, _ := json.Marshal(oracle)
+	json.Unmarshal(ob, &oracleRes)
+	zeroVolatile(liveRes)
+	zeroVolatile(oracleRes)
+	if !reflect.DeepEqual(liveRes, oracleRes) {
+		lb, _ := json.MarshalIndent(liveRes, "", " ")
+		gb, _ := json.MarshalIndent(oracleRes, "", " ")
+		t.Errorf("recovered run diverged from the journal oracle:\nlive:   %s\noracle: %s", lb, gb)
+	}
+}
+
+// zeroVolatile clears the counters metrics.Counters.ZeroVolatile
+// clears, plus SimulatedSec (the live run idles at its horizon-free
+// clock; the oracle stops at the last event), on a decoded result map.
+func zeroVolatile(res map[string]any) {
+	c, _ := res["Counters"].(map[string]any)
+	if c == nil {
+		return
+	}
+	c["SchedSeconds"] = 0.0
+	c["DirtyJobs"] = 0.0
+	c["SkippedRounds"] = 0.0
+	c["SimulatedSec"] = 0.0
+}
+
+// scrapeGauge reads one un-labelled series value from /metrics.
+func scrapeGauge(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		var v float64
+		if n, _ := fmt.Sscanf(line, name+" %g", &v); n == 1 {
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mlfs/internal/trace"
+)
+
+// The submission journal is the service's ground truth for the
+// workload: one JSON-encoded trace.Record per line, appended when a
+// submission is accepted and flushed before the accepting call
+// returns. Snapshots only ever cover a prefix of the journal, so crash
+// recovery restores the snapshot and re-enqueues the journal tail —
+// and with no (readable) snapshot at all, replaying the whole journal
+// from an empty simulator reproduces the run, because every record
+// carries its resolved ArrivalSec and server-assigned JobID.
+//
+// encoding/json round-trips float64 exactly (shortest-representation
+// formatting), so a replayed record is bit-identical to the submitted
+// one — the journal preserves run identity, not an approximation.
+
+// journal appends accepted submissions to a JSONL file.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openJournal opens path for appending, creating it if absent. An
+// empty path disables journaling (nil journal; all methods no-op).
+func openJournal(path string) (*journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append writes one record and flushes it to the OS before returning,
+// so an accepted submission survives a process crash.
+func (j *journal) append(r trace.Record) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// readJournal loads every record from path, in append order. A missing
+// file is an empty journal. A malformed line fails the load: the
+// journal is the run's ground truth, so silently dropping records
+// would silently change the workload.
+func readJournal(path string) ([]trace.Record, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var recs []trace.Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r trace.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
+	}
+	return recs, nil
+}

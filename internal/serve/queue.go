@@ -1,0 +1,66 @@
+package serve
+
+import "mlfs/internal/trace"
+
+// liveQueue adapts the service's submission stream to trace.Source, the
+// streaming-ingestion interface the simulator consumes. It is an
+// append-only record log with a read cursor: the HTTP layer (via the
+// event loop) appends records in nondecreasing ArrivalSec order, the
+// simulator consumes them through Next.
+//
+// The Source contract holds by construction:
+//
+//   - Nondecreasing arrivals: push rejects out-of-order records, and the
+//     loop stamps live submissions with max(last arrival, current time).
+//   - Reset replays the exact sequence: records are never dropped, so
+//     rewinding the cursor reproduces the consumed prefix bit-for-bit —
+//     which is what snapshot restore relies on.
+//   - Len grows as submissions arrive; the simulator's snapshot
+//     fingerprint is kept in sync via Simulator.SyncSourceTotal.
+//
+// Single-writer: only the event loop touches a liveQueue.
+type liveQueue struct {
+	records []trace.Record
+	next    int
+}
+
+// Next implements trace.Source.
+func (q *liveQueue) Next() (trace.Record, bool) {
+	if q.next >= len(q.records) {
+		return trace.Record{}, false
+	}
+	r := q.records[q.next]
+	q.next++
+	return r, true
+}
+
+// Reset implements trace.Source.
+func (q *liveQueue) Reset() { q.next = 0 }
+
+// Len implements trace.Source: the submissions accepted so far.
+func (q *liveQueue) Len() int { return len(q.records) }
+
+// Duration implements trace.Source. A live queue has no arrival window
+// known up front; the service pins the simulation horizon explicitly
+// (serveHorizon), so the default-horizon calibration this feeds is
+// never consulted.
+func (q *liveQueue) Duration() float64 { return 0 }
+
+// lastArrival returns the arrival stamp of the newest record, or 0 for
+// an empty queue.
+func (q *liveQueue) lastArrival() float64 {
+	if n := len(q.records); n > 0 {
+		return q.records[n-1].ArrivalSec
+	}
+	return 0
+}
+
+// push appends a record; ok reports whether it respects the
+// nondecreasing-arrival contract (the record is dropped otherwise).
+func (q *liveQueue) push(r trace.Record) bool {
+	if r.ArrivalSec < q.lastArrival() {
+		return false
+	}
+	q.records = append(q.records, r)
+	return true
+}

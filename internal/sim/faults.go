@@ -217,7 +217,7 @@ func (s *Simulator) releaseParked() {
 }
 
 // checkpointJob advances j's durable checkpoint to the last multiple of
-// K at or below its progress. Called from the serial merge phase of
+// K at or below its progress. Called from the sharded merge phase of
 // advance() only when fault injection is enabled, so the disabled path
 // never touches the field.
 func (s *Simulator) checkpointJob(j *job.Job) {

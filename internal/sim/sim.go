@@ -276,6 +276,12 @@ type Simulator struct {
 	// order (schedulers must sort before acting, never rely on range).
 	admitOrder func([]*job.Task) []*job.Task
 
+	// onRetire, when set, observes every job at the instant it retires
+	// (finish, stop, kill or admission rejection). Observer only — it
+	// must not mutate simulator state. Hosts that drive RunStep (the
+	// online service) use it to capture final per-job outcomes.
+	onRetire func(*job.Job) //mlfs:derived observer callback; re-registered by the restoring host
+
 	counters metrics.Counters
 
 	// Round feedback handed to reward-driven schedulers. recentCompleted
@@ -415,50 +421,85 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // Run executes the simulation to completion and returns the metrics.
+// It is a plain loop over RunStep, so a host that drives RunStep
+// directly (the online service) executes the exact same code path —
+// the bit-identity argument never forks.
 func (s *Simulator) Run() (*metrics.Result, error) {
-	defer s.closePool()
-	// Schedulers that own resources (MLF-RL's neural-engine worker pool)
-	// release them when the run ends.
-	if c, ok := s.sched.(interface{ Close() }); ok {
-		defer c.Close()
-	}
-	dt := s.cfg.TickSec
+	defer s.Close()
 	for {
-		if err := s.admitArrivals(); err != nil {
+		progressed, err := s.RunStep()
+		if err != nil {
 			return nil, err
 		}
-		if !s.HasPendingEvents() {
-			break
-		}
-		// Quiescent skip: when the next event lies beyond the next tick —
-		// only possible while idle, with the horizon at the next arrival
-		// (events.go proves every other source inert) — jump straight to
-		// the tick containing it.
-		if next, ok := s.PeekNextEventTime(); ok && next > s.now+dt {
-			s.AdvanceTo(next)
-			if err := s.admitArrivals(); err != nil {
-				return nil, err
-			}
-		}
-		if s.now >= s.cfg.MaxSimSec {
-			if err := s.truncate(); err != nil {
-				return nil, err
-			}
-			break
-		}
-		s.step(dt)
-		s.tick++
-		if s.cfg.SnapshotEvery > 0 && s.tick%s.cfg.SnapshotEvery == 0 {
-			if err := s.writeSnapshot(); err != nil {
-				return nil, err
-			}
-		}
-		if s.cfg.StopAtTick > 0 && s.tick >= s.cfg.StopAtTick {
+		if !progressed {
 			break
 		}
 	}
+	return s.Finish(), nil
+}
+
+// RunStep executes one iteration of the run loop: admit due arrivals,
+// quiescent-skip to the next event if the simulator is idle, then
+// execute one tick (or truncate at the horizon). It returns false when
+// the run has reached a stopping condition — no pending events, the
+// MaxSimSec horizon, or StopAtTick — and true when a tick executed and
+// another call may make progress. A false return is not terminal: if
+// new submissions appear on a live Source afterwards, calling RunStep
+// again resumes the run (that is how the online service idles).
+func (s *Simulator) RunStep() (bool, error) {
+	if err := s.admitArrivals(); err != nil {
+		return false, err
+	}
+	if !s.HasPendingEvents() {
+		return false, nil
+	}
+	dt := s.cfg.TickSec
+	// Quiescent skip: when the next event lies beyond the next tick —
+	// only possible while idle, with the horizon at the next arrival
+	// (events.go proves every other source inert) — jump straight to
+	// the tick containing it.
+	if next, ok := s.PeekNextEventTime(); ok && next > s.now+dt {
+		s.AdvanceTo(next)
+		if err := s.admitArrivals(); err != nil {
+			return false, err
+		}
+	}
+	if s.now >= s.cfg.MaxSimSec {
+		if err := s.truncate(); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	s.step(dt)
+	s.tick++
+	if s.cfg.SnapshotEvery > 0 && s.tick%s.cfg.SnapshotEvery == 0 {
+		if err := s.writeSnapshot(); err != nil {
+			return false, err
+		}
+	}
+	if s.cfg.StopAtTick > 0 && s.tick >= s.cfg.StopAtTick {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Finish stamps the total simulated time and folds the final metrics.
+// Safe to call repeatedly: the fold reads, never consumes, the tallies
+// — the online service calls it per status request on a live run.
+func (s *Simulator) Finish() *metrics.Result {
 	s.counters.SimulatedSec = s.now
-	return s.result(), nil
+	return s.result()
+}
+
+// Close releases the advance-worker pool and any resources the
+// scheduler owns (MLF-RL's neural-engine pool). Idempotent — every
+// Close in the chain latches; Run calls it itself, hosts driving
+// RunStep call it when the run ends.
+func (s *Simulator) Close() {
+	s.closePool()
+	if c, ok := s.sched.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // result computes the final metrics: trace mode folds over the full job
@@ -643,6 +684,9 @@ func (s *Simulator) retire(j *job.Job) {
 	s.freeSlot(j)
 	if s.src != nil {
 		s.tallies = append(s.tallies, metrics.TallyOf(j))
+	}
+	if s.onRetire != nil {
+		s.onRetire(j)
 	}
 }
 
@@ -1297,3 +1341,70 @@ func (s *Simulator) SetStopAtTick(n int) { s.cfg.StopAtTick = n }
 
 // Cluster exposes the cluster (for tests and tools).
 func (s *Simulator) Cluster() *cluster.Cluster { return s.cl }
+
+// The accessors below exist for hosts that drive RunStep directly (the
+// online service) and for tests. All of them are read-only views of
+// single-writer state: they must be called from the goroutine that owns
+// the simulator, and returned slices are valid only until the next
+// RunStep.
+
+// ActiveJobs returns the live (admitted, not yet finalised) jobs in
+// admission order. Callers must not mutate the slice or the jobs.
+func (s *Simulator) ActiveJobs() []*job.Job { return s.active }
+
+// Counters returns a copy of the run's event counters so far.
+func (s *Simulator) Counters() metrics.Counters { return s.counters }
+
+// Tallies returns the per-job completion tallies accumulated at
+// retirement (source mode only; nil in trace mode).
+func (s *Simulator) Tallies() []metrics.Tally { return s.tallies }
+
+// Consumed returns the number of submissions consumed from the trace
+// or source so far (admitted plus rejected); it is also the SimIndex
+// the next arrival will receive.
+func (s *Simulator) Consumed() int { return s.pending }
+
+// NumWaiting returns the number of tasks currently queued for
+// placement.
+func (s *Simulator) NumWaiting() int { return len(s.waiting) }
+
+// SyncSourceTotal re-reads the source length into the run's submission
+// total. The total sizes the snapshot fingerprint, so a host feeding
+// the simulator from a growing live queue must call this before
+// Snapshot — otherwise a later restore against the longer queue would
+// be refused as a workload mismatch. The total only grows; batch runs
+// over fixed traces are unaffected.
+func (s *Simulator) SyncSourceTotal() {
+	if s.src != nil {
+		if n := s.src.Len(); n > s.total {
+			s.total = n
+		}
+	}
+}
+
+// CancelJob aborts a live job through the existing kill path: surviving
+// placements are released, queued tasks withdrawn, the last durable
+// checkpoint retained (evict-to-checkpoint), and the job finalised as
+// Killed at the current simulation time. Unlike failJob this is an
+// operator action, not fault recovery: no retry budget is charged and
+// no failure counters move. No-op if the job is already done.
+func (s *Simulator) CancelJob(j *job.Job) {
+	if j.Done() {
+		return
+	}
+	if s.faults != nil {
+		// Persist the most recent checkpoint boundary the job crossed, as
+		// a real cluster's final pre-eviction checkpoint would.
+		s.checkpointJob(j)
+	}
+	// Journal the cancellation so incremental schedulers drop whatever
+	// rankings they cached for the job.
+	s.ctx.MarkDirty(j)
+	s.finishJob(j, s.now, job.Killed)
+	s.pruneActive()
+}
+
+// SetRetireHook registers fn to observe each job at retirement (sparse
+// mode). Pass nil to clear. The hook runs synchronously inside the
+// simulation step and must not mutate simulator or job state.
+func (s *Simulator) SetRetireHook(fn func(*job.Job)) { s.onRetire = fn }

@@ -33,6 +33,7 @@ var snapverPinned = map[uint32]uint64{
 	1: 0xd0e271c2a8167fb6,
 	2: 0x8fa799272be060c7,
 	3: 0x7ea661c0a9ac5c17,
+	4: 0x1bd550df07e3c293,
 }
 
 // snapverRoots are the structs whose fields feed snapshot payloads,
