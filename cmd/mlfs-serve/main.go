@@ -1,9 +1,10 @@
 // Command mlfs-serve runs the scheduling simulator as a long-lived
 // HTTP/JSON service: jobs are submitted, inspected and cancelled over
 // the API while a single event loop advances the cluster in scaled
-// time (-timescale) or as fast as it can. Accepted submissions are
-// journaled and the full service state is snapshotted on a tick
-// cadence, so a restarted server resumes the run bit-identically.
+// time (-timescale) or as fast as it can. Accepted submissions and
+// cancellations are journaled and the full service state is
+// snapshotted on a tick cadence, so a restarted server resumes the
+// run bit-identically.
 //
 // Examples:
 //
@@ -51,7 +52,7 @@ func main() {
 
 		snapEvery = flag.Int("snapshot-every", 0, "write a service snapshot every N ticks (0 disables; requires -snapshot and -journal)")
 		snapPath  = flag.String("snapshot", "", "snapshot file path (reloaded on start when present)")
-		jourPath  = flag.String("journal", "", "submission journal path (replayed on start when present)")
+		jourPath  = flag.String("journal", "", "journal path for accepted submissions and cancellations (replayed on start when present)")
 	)
 	flag.Parse()
 

@@ -73,14 +73,14 @@ func TestServeSmokeParity(t *testing.T) {
 	// service accepted it) and compare results modulo the volatile
 	// counters (wall-clock decision time; incremental-round telemetry a
 	// restore rebuilds conservatively).
-	journaled, err := serve.ReadJournal(cfg.JournalPath)
+	journaled, cancels, err := serve.ReadJournal(cfg.JournalPath)
 	if err != nil {
 		t.Fatalf("ReadJournal: %v", err)
 	}
-	if len(journaled) != jobs {
-		t.Fatalf("journal holds %d records, want %d", len(journaled), jobs)
+	if len(journaled) != jobs || len(cancels) != 0 {
+		t.Fatalf("journal holds %d records and %d cancels, want %d and 0", len(journaled), len(cancels), jobs)
 	}
-	oracle, err := serve.Oracle(cfg, journaled)
+	oracle, err := serve.Oracle(cfg, journaled, cancels)
 	if err != nil {
 		t.Fatalf("Oracle: %v", err)
 	}

@@ -280,7 +280,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		rec, err := buildRecord(req, id, arrival)
 		if err != nil {
-			errors.As(err, &herr)
+			if !errors.As(err, &herr) {
+				// Every rejection today is a *httpError, but don't let a
+				// future buildRecord edit fall through to a bogus 201.
+				herr = &httpError{http.StatusBadRequest, err.Error()}
+			}
 			return
 		}
 		// Materialise a probe copy to validate the record end to end and
@@ -418,25 +422,27 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			herr = &httpError{http.StatusNotFound, fmt.Sprintf("no job %d", id)}
 			return
 		}
-		switch {
-		case e.done:
+		if e.done {
 			herr = &httpError{http.StatusConflict,
 				fmt.Sprintf("job %d already finalised (%s)", id, s.statusOf(e).State)}
 			return
-		case e.simIndex >= s.sim.Consumed():
-			// Not yet admitted: cancellation is applied right after
-			// admission (the record must still flow through the stream
-			// to preserve replay identity).
-			if !e.cancelRequested {
-				e.cancelRequested = true
-				s.pendingCancels = append(s.pendingCancels, e)
+		}
+		// Journal before applying, like a submission: an acknowledged
+		// cancel must be on disk before the client hears about it, or a
+		// crash would silently resurrect the job. Repeat DELETEs of a
+		// still-pending cancel are acknowledged without a second record.
+		if !e.cancelRequested {
+			if _, jerr := s.journalCancel(e); jerr != nil {
+				herr = &httpError{http.StatusInternalServerError, jerr.Error()}
+				return
 			}
+			s.applyCancel(e)
+		}
+		if !e.done {
+			// Not yet admitted (or mid-retry): the kill applies right
+			// after admission — the record must still flow through the
+			// stream to preserve replay identity.
 			code = http.StatusAccepted
-		default:
-			e.cancelRequested = true
-			if j := s.liveJob(e); j != nil {
-				s.sim.CancelJob(j) // retire hook finalises the entry
-			}
 		}
 		st = s.statusOf(e)
 	})

@@ -1,0 +1,203 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mlfs/internal/serve"
+)
+
+// oracleMatches compares a live /v1/result document against the batch
+// oracle replay of the journal, modulo the volatile counters.
+func oracleMatches(t *testing.T, cfg serve.Config, live json.RawMessage) {
+	t.Helper()
+	records, cancels, err := serve.ReadJournal(cfg.JournalPath)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	oracle, err := serve.Oracle(cfg, records, cancels)
+	if err != nil {
+		t.Fatalf("Oracle: %v", err)
+	}
+	oracle.Counters.ZeroVolatile()
+	var liveRes, oracleRes map[string]any
+	if err := json.Unmarshal(live, &liveRes); err != nil {
+		t.Fatalf("decode live result: %v", err)
+	}
+	ob, _ := json.Marshal(oracle)
+	json.Unmarshal(ob, &oracleRes)
+	zeroVolatile(liveRes)
+	zeroVolatile(oracleRes)
+	if !reflect.DeepEqual(liveRes, oracleRes) {
+		lb, _ := json.MarshalIndent(liveRes, "", " ")
+		gb, _ := json.MarshalIndent(oracleRes, "", " ")
+		t.Errorf("run diverged from the journal oracle:\nlive:   %s\noracle: %s", lb, gb)
+	}
+}
+
+// killableServer boots a server the test will Kill itself — no Stop
+// cleanup, since the caller tears it down mid-test.
+func killableServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	s.Start()
+	return s, ts
+}
+
+// TestCancelSurvivesJournalOnlyRestart is the regression test for
+// cancellation durability on the journal-only degrade path: a cancel
+// acknowledged before a kill must not be undone by a recovery that has
+// no snapshot and replays the journal alone. Before cancels were
+// journaled, this restart resurrected job 2 and ran it to completion.
+func TestCancelSurvivesJournalOnlyRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.JournalPath = filepath.Join(dir, "cancel.journal")
+	cfg.StartPaused = true
+
+	s, ts := killableServer(t, cfg)
+	for seed := 1; seed <= 3; seed++ {
+		body := fmt.Sprintf(`{"gpus": 2, "seed": %d}`, seed)
+		if code := doJSON(t, "POST", ts.URL+"/v1/jobs", body, nil); code != 201 {
+			t.Fatalf("submit %d: status %d", seed, code)
+		}
+	}
+	// Cancel job 2 while everything is still queued: deferred ack (202),
+	// and — the point of the test — journaled before the ack.
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/2", "", nil); code != 202 {
+		t.Fatalf("cancel: status %d", code)
+	}
+	s.Kill()
+	ts.Close()
+
+	// Journal-only restart: no snapshot was ever cut, so recovery
+	// replays the whole journal — submissions and the cancel.
+	_, ts2 := startServer(t, cfg)
+	if code := doJSON(t, "POST", ts2.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume: status %d", code)
+	}
+	waitDrained(t, ts2.URL, 3)
+
+	for id := 1; id <= 3; id++ {
+		var st struct {
+			State string `json:"state"`
+		}
+		if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts2.URL, id), "", &st); code != 200 {
+			t.Fatalf("job %d: status %d", id, code)
+		}
+		if id == 2 {
+			if st.State != "cancelled" {
+				t.Errorf("job 2 resurrected across restart: state %q, want cancelled", st.State)
+			}
+		} else if st.State != "finished" && st.State != "stopped" {
+			t.Errorf("job %d: state %q, want finished or stopped", id, st.State)
+		}
+	}
+
+	// And the recovered run still has its batch oracle: replaying the
+	// journal — cancel included — reproduces the same final metrics.
+	var live json.RawMessage
+	if code := doJSON(t, "GET", ts2.URL+"/v1/result", "", &live); code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	oracleMatches(t, cfg, live)
+}
+
+// TestCancelledRunReplaysBitForBit drives both cancellation paths —
+// deferred (202, pre-admission) and immediate (200, mid-run) — lets
+// the run drain, and requires the batch oracle over the journal to
+// reproduce the live /v1/result: the replay-parity contract holds for
+// runs with cancellations, not just clean workloads. It then kills the
+// drained server and proves a journal-only restart converges to the
+// same result, replaying both cancels at their stamped times.
+func TestCancelledRunReplaysBitForBit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.JournalPath = filepath.Join(dir, "parity.journal")
+	cfg.StartPaused = true
+	// Paced clock so the long job is still observably running when the
+	// immediate cancel lands (as in TestCancelRunningJobReleasesCluster).
+	cfg.Timescale = 120
+
+	s, ts := killableServer(t, cfg)
+
+	// Job 1: long, cancelled while running. Job 2: cancelled while
+	// still queued.
+	long := `{"gpus": 4, "stop_option": "run-to-max", "train_data_mb": 60000, "seed": 3}`
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", long, nil); code != 201 {
+		t.Fatalf("submit long: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"gpus": 2, "seed": 7}`, nil); code != 201 {
+		t.Fatalf("submit short: status %d", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/2", "", nil); code != 202 {
+		t.Fatalf("deferred cancel: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume: status %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st struct {
+			State string `json:"state"`
+		}
+		if code := doJSON(t, "GET", ts.URL+"/v1/jobs/1", "", &st); code != 200 {
+			t.Fatalf("status: code %d", code)
+		}
+		if st.State == "running" {
+			break
+		}
+		if st.State == "finished" || st.State == "stopped" {
+			t.Fatalf("long job finished before it could be cancelled")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("long job never reached running: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/1", "", nil); code != 200 {
+		t.Fatalf("immediate cancel: status %d", code)
+	}
+	waitDrained(t, ts.URL, 2)
+
+	var live json.RawMessage
+	if code := doJSON(t, "GET", ts.URL+"/v1/result", "", &live); code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	oracleMatches(t, cfg, live)
+	s.Kill()
+	ts.Close()
+
+	// Journal-only restart of the drained run: both cancels replay at
+	// their stamped simulation times and the final result is unchanged.
+	_, ts2 := startServer(t, cfg)
+	if code := doJSON(t, "POST", ts2.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume after restart: status %d", code)
+	}
+	waitDrained(t, ts2.URL, 2)
+	for id := 1; id <= 2; id++ {
+		var st struct {
+			State string `json:"state"`
+		}
+		if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts2.URL, id), "", &st); code != 200 {
+			t.Fatalf("job %d: status %d", id, code)
+		}
+		if st.State != "cancelled" {
+			t.Errorf("job %d after restart: state %q, want cancelled", id, st.State)
+		}
+	}
+	var live2 json.RawMessage
+	if code := doJSON(t, "GET", ts2.URL+"/v1/result", "", &live2); code != 200 {
+		t.Fatalf("result after restart: status %d", code)
+	}
+	oracleMatches(t, cfg, live2)
+}

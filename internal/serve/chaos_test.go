@@ -169,14 +169,14 @@ func TestKillMidLoadRecovery(t *testing.T) {
 	if code := doJSON(t, "GET", ts2.URL+"/v1/result", "", &live); code != 200 {
 		t.Fatalf("result: status %d", code)
 	}
-	journaled, err := serve.ReadJournal(cfg.JournalPath)
+	journaled, cancels, err := serve.ReadJournal(cfg.JournalPath)
 	if err != nil {
 		t.Fatalf("ReadJournal: %v", err)
 	}
 	if len(journaled) != batch1+batch2 {
 		t.Fatalf("journal holds %d records, want %d", len(journaled), batch1+batch2)
 	}
-	oracle, err := serve.Oracle(cfg, journaled)
+	oracle, err := serve.Oracle(cfg, journaled, cancels)
 	if err != nil {
 		t.Fatalf("Oracle: %v", err)
 	}

@@ -9,20 +9,46 @@ import (
 	"mlfs/internal/trace"
 )
 
-// The submission journal is the service's ground truth for the
-// workload: one JSON-encoded trace.Record per line, appended when a
-// submission is accepted and flushed before the accepting call
-// returns. Snapshots only ever cover a prefix of the journal, so crash
-// recovery restores the snapshot and re-enqueues the journal tail —
-// and with no (readable) snapshot at all, replaying the whole journal
-// from an empty simulator reproduces the run, because every record
-// carries its resolved ArrivalSec and server-assigned JobID.
+// The journal is the service's ground truth for the workload: one
+// JSON-encoded envelope per line, appended when a mutation is
+// acknowledged and flushed before the acknowledging call returns. Two
+// record kinds exist:
+//
+//   - {"submit": {...trace.Record...}} — an accepted submission, with
+//     its resolved ArrivalSec and server-assigned JobID.
+//   - {"cancel": {"job": N, "at": T}} — an acknowledged cancellation of
+//     job N, stamped with the simulation time T at which it was
+//     accepted.
+//
+// Snapshots only ever cover a prefix of the journal, so crash recovery
+// restores the snapshot and re-applies the journal tail — and with no
+// (readable) snapshot at all, replaying the whole journal from an
+// empty simulator reproduces the run, cancellations included: a
+// journaled cancel is re-applied once the replay clock reaches its
+// stamp, through the same code path a live DELETE takes.
 //
 // encoding/json round-trips float64 exactly (shortest-representation
 // formatting), so a replayed record is bit-identical to the submitted
 // one — the journal preserves run identity, not an approximation.
 
-// journal appends accepted submissions to a JSONL file.
+// CancelRecord is one journaled cancellation: the cancel of job JobID
+// was acknowledged at simulation time AtSec. Replays apply it at the
+// same point — immediately if the job is live when the clock reaches
+// AtSec, or the moment the simulator admits the job if the cancel
+// preceded admission (the 202 path).
+type CancelRecord struct {
+	JobID int64   `json:"job"`
+	AtSec float64 `json:"at"`
+}
+
+// journalLine is the on-disk envelope: exactly one of the fields is
+// set per line.
+type journalLine struct {
+	Submit *trace.Record `json:"submit,omitempty"`
+	Cancel *CancelRecord `json:"cancel,omitempty"`
+}
+
+// journal appends acknowledged mutations to a JSONL file.
 type journal struct {
 	f *os.File
 	w *bufio.Writer
@@ -41,13 +67,13 @@ func openJournal(path string) (*journal, error) {
 	return &journal{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// append writes one record and flushes it to the OS before returning,
-// so an accepted submission survives a process crash.
-func (j *journal) append(r trace.Record) error {
+// appendLine writes one envelope and flushes it to the OS before
+// returning, so an acknowledged mutation survives a process crash.
+func (j *journal) appendLine(line journalLine) error {
 	if j == nil {
 		return nil
 	}
-	b, err := json.Marshal(r)
+	b, err := json.Marshal(line)
 	if err != nil {
 		return err
 	}
@@ -56,6 +82,16 @@ func (j *journal) append(r trace.Record) error {
 		return err
 	}
 	return j.w.Flush()
+}
+
+// appendSubmit journals one accepted submission.
+func (j *journal) appendSubmit(r trace.Record) error {
+	return j.appendLine(journalLine{Submit: &r})
+}
+
+// appendCancel journals one acknowledged cancellation.
+func (j *journal) appendCancel(c CancelRecord) error {
+	return j.appendLine(journalLine{Cancel: &c})
 }
 
 // Close flushes and closes the file.
@@ -70,23 +106,22 @@ func (j *journal) Close() error {
 	return j.f.Close()
 }
 
-// readJournal loads every record from path, in append order. A missing
-// file is an empty journal. A malformed line fails the load: the
-// journal is the run's ground truth, so silently dropping records
-// would silently change the workload.
-func readJournal(path string) ([]trace.Record, error) {
+// readJournal loads every record from path, split by kind, each slice
+// in append order. A missing file is an empty journal. A malformed
+// line fails the load: the journal is the run's ground truth, so
+// silently dropping records would silently change the workload.
+func readJournal(path string) (records []trace.Record, cancels []CancelRecord, err error) {
 	if path == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	var recs []trace.Record
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -95,14 +130,21 @@ func readJournal(path string) ([]trace.Record, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var r trace.Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, nil, fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
 		}
-		recs = append(recs, r)
+		switch {
+		case l.Submit != nil && l.Cancel == nil:
+			records = append(records, *l.Submit)
+		case l.Cancel != nil && l.Submit == nil:
+			cancels = append(cancels, *l.Cancel)
+		default:
+			return nil, nil, fmt.Errorf("serve: journal %s line %d: want exactly one of submit or cancel", path, line)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
+		return nil, nil, fmt.Errorf("serve: journal %s: %w", path, err)
 	}
-	return recs, nil
+	return records, cancels, nil
 }

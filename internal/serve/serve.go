@@ -30,6 +30,7 @@ import (
 	"io/fs"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -54,6 +55,11 @@ const serveStateVersion = 1
 
 // errServerClosed is returned by API calls after the event loop exits.
 var errServerClosed = errors.New("serve: server closed")
+
+// errJournal tags run failures caused by a journal write. Once an
+// append has failed the journal tail is suspect, so the run stops and
+// finalize refuses to cut a snapshot that could mask the loss.
+var errJournal = errors.New("serve: journal write failed")
 
 // Scheduler is the policy interface the service hosts (alias, so
 // callers outside internal/sched can name it in factories).
@@ -160,18 +166,28 @@ type Server struct {
 	stopping       bool
 	runErr         error
 	pendingCancels []*jobEntry
-	completed      int
-	cancelledN     int
-	snapshots      uint64
+	// futureCancels holds journal-recovered cancellations not yet
+	// re-applied: recovery collects every journaled cancel whose job the
+	// restored state shows neither finalised nor cancel-requested, and
+	// the loop re-applies each one — through the same path a live DELETE
+	// takes — once the replay clock reaches its stamp. Ordered by AtSec.
+	futureCancels []futureCancel
+	completed     int
+	cancelledN    int
+	snapshots     uint64
 
 	anchored bool
 	baseWall time.Time
 	baseSim  float64
 
 	lastSnapTick int
-	lastRounds   int
-	lastSchedSec float64
 	startWall    time.Time
+}
+
+// futureCancel is one recovered cancellation awaiting its replay point.
+type futureCancel struct {
+	e  *jobEntry
+	at float64
 }
 
 // simConfig builds the simulator configuration the service runs — and,
@@ -195,12 +211,15 @@ func (c Config) simConfig(src trace.Source, s sched.Scheduler) sim.Config {
 	}
 }
 
-// Oracle runs the batch simulator over a finished submission stream
-// (typically a journal read back with ReadJournal) under the exact
-// configuration a service with the same Config ran live, and returns
-// its final metrics. The serve-smoke test compares this against the
-// live /v1/result to prove the service preserved batch semantics.
-func Oracle(cfg Config, records []trace.Record) (*metrics.Result, error) {
+// Oracle runs the batch simulator over a finished journal (typically
+// read back with ReadJournal) under the exact configuration a service
+// with the same Config ran live, and returns its final metrics.
+// Journaled cancellations are re-applied at the simulation times they
+// were acknowledged, through the same admitted-now-or-after-admission
+// rules the live event loop uses, so a run with cancellations replays
+// bit-for-bit too. The serve-smoke test compares this against the live
+// /v1/result to prove the service preserved batch semantics.
+func Oracle(cfg Config, records []trace.Record, cancels []CancelRecord) (*metrics.Result, error) {
 	s, err := cfg.NewScheduler()
 	if err != nil {
 		return nil, err
@@ -210,12 +229,73 @@ func Oracle(cfg Config, records []trace.Record) (*metrics.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return siml.Run()
+	if len(cancels) == 0 {
+		// Plain workload: the batch Run loop, the exact code path the
+		// bit-identity argument names.
+		return siml.Run()
+	}
+	defer siml.Close()
+
+	// SimIndex is stream order; a cancel names its job by id.
+	byID := make(map[int64]int, len(records))
+	for i, r := range records {
+		byID[r.JobID] = i
+	}
+	future := append([]CancelRecord(nil), cancels...)
+	sort.SliceStable(future, func(i, j int) bool { return future[i].AtSec < future[j].AtSec })
+	for _, c := range future {
+		if _, ok := byID[c.JobID]; !ok {
+			return nil, fmt.Errorf("serve: journal cancels unknown job %d", c.JobID)
+		}
+	}
+	// cancelLive mirrors Server.liveJob + CancelJob: cancel the job if
+	// it is in the active set, no-op if it already retired.
+	cancelLive := func(simIndex int) {
+		for _, j := range siml.ActiveJobs() {
+			if j.SimIndex == simIndex {
+				siml.CancelJob(j)
+				return
+			}
+		}
+	}
+	var pending []int // admitted-later cancels, mirroring pendingCancels
+	for {
+		// Due cancels apply before the next step, exactly where the live
+		// loop applies a DELETE drained between steps.
+		for len(future) > 0 && future[0].AtSec <= siml.Now() {
+			i := byID[future[0].JobID]
+			future = future[1:]
+			if i >= siml.Consumed() {
+				pending = append(pending, i)
+			} else {
+				cancelLive(i)
+			}
+		}
+		progressed, err := siml.RunStep()
+		if err != nil {
+			return nil, err
+		}
+		// Deferred cancels fire right after the step that admitted their
+		// job, mirroring Server.applyPendingCancels.
+		keep := pending[:0]
+		for _, i := range pending {
+			if i >= siml.Consumed() {
+				keep = append(keep, i)
+			} else {
+				cancelLive(i)
+			}
+		}
+		pending = keep
+		if !progressed {
+			break
+		}
+	}
+	return siml.Finish(), nil
 }
 
-// ReadJournal loads a submission journal (exported for the oracle path
-// and tooling).
-func ReadJournal(path string) ([]trace.Record, error) { return readJournal(path) }
+// ReadJournal loads a journal's submissions and cancellations
+// (exported for the oracle path and tooling).
+func ReadJournal(path string) ([]trace.Record, []CancelRecord, error) { return readJournal(path) }
 
 // New builds a server: it recovers state from the journal and snapshot
 // when they exist, otherwise starts empty. The event loop is not yet
@@ -256,8 +336,14 @@ func New(cfg Config) (*Server, error) {
 	s.startWall = wallNow()
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	s.sim.SetRetireHook(s.onRetire)
+	s.sim.SetRoundTimingHook(s.onRound)
 	return s, nil
 }
+
+// onRound feeds each scheduling round's wall-clock duration into the
+// decision-latency histogram. Runs inside RunStep, on the loop
+// goroutine.
+func (s *Server) onRound(sec float64) { s.reg.observeDecision(sec) }
 
 // onRetire records a job's final outcome the instant the simulator
 // finalises it. Runs inside the simulation step, on the loop goroutine.
@@ -293,14 +379,15 @@ func (s *Server) addEntry(rec trace.Record) *jobEntry {
 // recover rebuilds state from the journal and snapshot. Layering: the
 // journal is ground truth for the workload; the snapshot is a prefix
 // checkpoint of (simulator state + finalised-job overlay). A readable
-// snapshot resumes the run mid-flight and the journal tail is
-// re-enqueued behind it; an unreadable or absent snapshot degrades to
-// replaying the whole journal through a fresh simulator, which loses
-// wall-clock progress but no accepted submission. A snapshot that
-// provably disagrees with the journal (longer than it, or a workload
-// fingerprint mismatch) is an operator error and refuses to start.
+// snapshot resumes the run mid-flight and the journal tail —
+// submissions and cancellations alike — is re-applied behind it; an
+// unreadable or absent snapshot degrades to replaying the whole
+// journal through a fresh simulator, which loses wall-clock progress
+// but no acknowledged mutation. A snapshot that provably disagrees
+// with the journal (longer than it, or a workload fingerprint
+// mismatch) is an operator error and refuses to start.
 func (s *Server) recover() error {
-	records, err := readJournal(s.cfg.JournalPath)
+	records, cancels, err := readJournal(s.cfg.JournalPath)
 	if err != nil {
 		return err
 	}
@@ -333,13 +420,14 @@ func (s *Server) recover() error {
 		} else {
 			s.info.Resumed = true
 			s.info.CompletedRestored = s.completed
-			return nil
+			return s.scheduleRecoveredCancels(cancels)
 		}
 	}
 
 	// Fresh run: replay the full journal (possibly empty) through a new
 	// simulator. Every record carries its resolved arrival and assigned
-	// id, so the replay reproduces the original run's decisions.
+	// id, so the replay reproduces the original run's decisions — and
+	// every journaled cancel is re-applied at its stamped time.
 	sc, err := s.cfg.NewScheduler()
 	if err != nil {
 		return err
@@ -353,8 +441,33 @@ func (s *Server) recover() error {
 	for _, rec := range records {
 		s.addEntry(rec)
 	}
+	if err := s.scheduleRecoveredCancels(cancels); err != nil {
+		return err
+	}
 	s.journal, err = openJournal(s.cfg.JournalPath)
 	return err
+}
+
+// scheduleRecoveredCancels queues every journaled cancellation the
+// recovered state does not already reflect: a cancel whose job is
+// finalised (the snapshot covered it) or already flagged (the
+// snapshot's pending-cancel overlay restored it) is done; anything
+// else is re-applied by the loop once the clock reaches its stamp.
+func (s *Server) scheduleRecoveredCancels(cancels []CancelRecord) error {
+	for _, c := range cancels {
+		e := s.entries[c.JobID]
+		if e == nil {
+			return fmt.Errorf("serve: journal cancels unknown job %d", c.JobID)
+		}
+		if e.done || e.cancelRequested {
+			continue
+		}
+		s.futureCancels = append(s.futureCancels, futureCancel{e: e, at: c.AtSec})
+	}
+	sort.SliceStable(s.futureCancels, func(i, j int) bool {
+		return s.futureCancels[i].at < s.futureCancels[j].at
+	})
+	return nil
 }
 
 // restoreFrom decodes the service snapshot wrapper and restores the
@@ -441,8 +554,6 @@ func (s *Server) restoreFrom(snapBytes []byte, records []trace.Record) error {
 		s.queue.push(rec)
 		s.addEntry(rec)
 	}
-	c := siml.Counters()
-	s.lastRounds, s.lastSchedSec = c.SchedRounds, c.SchedSeconds
 	s.lastSnapTick = siml.Tick()
 	s.journal, err = openJournal(s.cfg.JournalPath)
 	return err
@@ -541,10 +652,19 @@ func (s *Server) loop() {
 }
 
 // drainCalls runs every queued call without blocking; false means the
-// server was killed.
+// server was killed. It also latches a pending stop, so a stop request
+// is noticed between steps even when the simulator never idles
+// (as-fast-as-possible mode with a deep backlog) — Stop must not have
+// to wait for the whole remaining workload to drain.
 func (s *Server) drainCalls() bool {
 	for {
+		stopc := s.stopc
+		if s.stopping {
+			stopc = nil // already latched; don't spin on the closed channel
+		}
 		select {
+		case <-stopc:
+			s.stopping = true
 		case fn := <-s.calls:
 			fn()
 		case <-s.killc:
@@ -615,21 +735,16 @@ func (s *Server) tryStep() (progressed bool, nap time.Duration) {
 	return true, 0
 }
 
-// stepOnce runs one RunStep plus its service bookkeeping: decision
-// latency telemetry, deferred cancels, snapshot cadence.
+// stepOnce runs one RunStep plus its service bookkeeping: recovered
+// cancels due at this point, deferred cancels, snapshot cadence.
+// Decision-latency telemetry streams out per round through the
+// simulator's round-timing hook (onRound) while the step runs.
 func (s *Server) stepOnce() {
+	s.applyFutureCancels()
 	if _, err := s.sim.RunStep(); err != nil {
 		s.runErr = err
 		return
 	}
-	c := s.sim.Counters()
-	if rounds := c.SchedRounds - s.lastRounds; rounds > 0 {
-		per := (c.SchedSeconds - s.lastSchedSec) / float64(rounds)
-		for i := 0; i < rounds; i++ {
-			s.reg.observeDecision(per)
-		}
-	}
-	s.lastRounds, s.lastSchedSec = c.SchedRounds, c.SchedSeconds
 	s.applyPendingCancels()
 	if s.cfg.SnapshotEvery > 0 && s.sim.Tick()-s.lastSnapTick >= s.cfg.SnapshotEvery {
 		s.lastSnapTick = s.sim.Tick()
@@ -679,18 +794,65 @@ func (s *Server) liveJob(e *jobEntry) *job.Job {
 	return nil
 }
 
-// enqueue commits an accepted record: queue, registry, journal.
+// enqueue commits an accepted record: journal first, then queue and
+// registry. The journal-first order is what keeps the artifacts
+// consistent on an append failure — a record that never reached the
+// journal must not enter the run, or a later snapshot would claim a
+// prefix the journal does not hold.
 func (s *Server) enqueue(rec trace.Record) (*jobEntry, error) {
-	if !s.queue.push(rec) {
+	if rec.ArrivalSec < s.queue.lastArrival() {
 		return nil, fmt.Errorf("serve: arrival %g before stream tail %g", rec.ArrivalSec, s.queue.lastArrival())
 	}
-	if err := s.journal.append(rec); err != nil {
-		// The record is already in the queue; losing journal durability
-		// is fatal for recovery guarantees, so stop the run.
-		s.runErr = fmt.Errorf("serve: journal append: %w", err)
+	if err := s.journal.appendSubmit(rec); err != nil {
+		// Losing journal durability is fatal for recovery guarantees:
+		// stop the run without admitting the record anywhere.
+		s.runErr = fmt.Errorf("%w: %v", errJournal, err)
 		return nil, s.runErr
 	}
+	s.queue.push(rec) // cannot fail: arrival order was checked above
 	return s.addEntry(rec), nil
+}
+
+// journalCancel commits an acknowledged cancellation to the journal,
+// stamped with the current simulation time. Same failure contract as
+// enqueue: an unjournaled cancel must not be applied.
+func (s *Server) journalCancel(e *jobEntry) (CancelRecord, error) {
+	c := CancelRecord{JobID: e.id, AtSec: s.sim.Now()}
+	if err := s.journal.appendCancel(c); err != nil {
+		s.runErr = fmt.Errorf("%w: %v", errJournal, err)
+		return c, s.runErr
+	}
+	return c, nil
+}
+
+// applyCancel consumes an acknowledged cancellation for e: a live job
+// is killed immediately through the evict-to-checkpoint path, a
+// not-yet-admitted one is deferred until the simulator admits it.
+// Shared by the DELETE handler and the journal-replay path, so a
+// replayed cancel takes the exact route the live one took.
+func (s *Server) applyCancel(e *jobEntry) {
+	e.cancelRequested = true
+	if e.simIndex >= s.sim.Consumed() {
+		s.pendingCancels = append(s.pendingCancels, e)
+		return
+	}
+	if j := s.liveJob(e); j != nil {
+		s.sim.CancelJob(j) // the retire hook finalises the entry
+	}
+}
+
+// applyFutureCancels re-applies journal-recovered cancellations whose
+// stamped time the replay clock has reached. Runs before each step, the
+// same slot a live DELETE drained between steps occupies.
+func (s *Server) applyFutureCancels() {
+	for len(s.futureCancels) > 0 && s.futureCancels[0].at <= s.sim.Now() {
+		fc := s.futureCancels[0]
+		s.futureCancels = s.futureCancels[1:]
+		if fc.e.done || fc.e.cancelRequested {
+			continue // a live DELETE got there first
+		}
+		s.applyCancel(fc.e)
+	}
 }
 
 // liveArrival resolves the arrival stamp of a live-mode submission:
@@ -750,8 +912,14 @@ func (s *Server) persist() error {
 }
 
 // finalize runs at graceful shutdown: cut a last snapshot so a restart
-// resumes from the drain point.
+// resumes from the stop point (the journal tail covers whatever the
+// snapshot does not). A run stopped by a journal-write failure skips
+// the snapshot — the journal tail is suspect, and a fresh snapshot
+// could mask the loss — and surfaces the failure through Stop instead.
 func (s *Server) finalize() error {
+	if errors.Is(s.runErr, errJournal) {
+		return s.runErr
+	}
 	if s.cfg.SnapshotEvery <= 0 {
 		return nil
 	}

@@ -432,7 +432,7 @@ func ExampleOracle() {
 			GPUCapacity: 1, CPUCapacity: 32, MemoryCapacity: 244, BWCapacity: 1200,
 		},
 	}
-	res, err := serve.Oracle(cfg, nil) // empty journal: empty run
+	res, err := serve.Oracle(cfg, nil, nil) // empty journal: empty run
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,0 +1,126 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mlfs/internal/sched"
+	"mlfs/internal/serve"
+	"mlfs/internal/snapshot"
+)
+
+// slowSched wraps a real policy and stalls every round, standing in for
+// an expensive scheduler over a deep backlog. It forwards snapshot
+// encode/decode so the service can checkpoint through it.
+type slowSched struct {
+	sched.Scheduler
+	delay time.Duration
+}
+
+func (s *slowSched) Schedule(ctx *sched.Context) {
+	time.Sleep(s.delay)
+	s.Scheduler.Schedule(ctx)
+}
+
+func (s *slowSched) EncodeState(w *snapshot.Writer) {
+	s.Scheduler.(sched.Snapshotter).EncodeState(w)
+}
+
+func (s *slowSched) DecodeState(r *snapshot.Reader) error {
+	return s.Scheduler.(sched.Snapshotter).DecodeState(r)
+}
+
+// TestStopPromptWithBacklog pins down Stop latency in
+// as-fast-as-possible mode: with hours of simulated work still queued
+// and a slow scheduler, a stop request must be honoured between steps —
+// not after the whole workload drains — and the final snapshot must
+// capture the run mid-flight so a restart resumes from the stop point.
+func TestStopPromptWithBacklog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.StartPaused = true
+	cfg.JournalPath = filepath.Join(dir, "stop.journal")
+	cfg.SnapshotPath = filepath.Join(dir, "stop.snap")
+	cfg.SnapshotEvery = 1 << 30 // only the final stop-point snapshot
+	inner := cfg.NewScheduler
+	cfg.NewScheduler = func() (serve.Scheduler, error) {
+		s, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		return &slowSched{Scheduler: s, delay: 25 * time.Millisecond}, nil
+	}
+
+	s, ts := killableServer(t, cfg)
+	closed := false
+	defer func() {
+		if !closed {
+			s.Kill()
+			ts.Close()
+		}
+	}()
+
+	// A backlog far deeper than any Stop should wait for: 16 maximal
+	// jobs, two at a time on the 2×4 cluster, at 25 ms per round.
+	const jobs = 16
+	for i := 0; i < jobs; i++ {
+		body := fmt.Sprintf(`{"gpus": 4, "stop_option": "run-to-max", "train_data_mb": 60000, "seed": %d}`, i+1)
+		if code := doJSON(t, "POST", ts.URL+"/v1/jobs", body, nil); code != 201 {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/resume", "", nil); code != 200 {
+		t.Fatalf("resume: status %d", code)
+	}
+
+	// Let the run get properly underway, then ask it to stop.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cv struct {
+			Live int `json:"jobs_live"`
+		}
+		if code := doJSON(t, "GET", ts.URL+"/v1/cluster", "", &cv); code != 200 {
+			t.Fatalf("cluster: status %d", code)
+		}
+		if cv.Live > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no job went live")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts.Close()
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := s.Stop(ctx)
+	elapsed := time.Since(start)
+	closed = true
+	if err != nil {
+		t.Fatalf("Stop with backlog: %v (after %v)", err, elapsed)
+	}
+	// Generous bound: a handful of in-flight rounds, nowhere near the
+	// many seconds the remaining workload needs.
+	if elapsed > 5*time.Second {
+		t.Errorf("Stop took %v; a stop request must not wait for the backlog to drain", elapsed)
+	}
+
+	// The final snapshot was cut at the stop point: a restart resumes
+	// mid-run with most of the workload still ahead of it.
+	_, ts2 := startServer(t, cfg)
+	var cv struct {
+		Queued    int `json:"jobs_queued"`
+		Live      int `json:"jobs_live"`
+		Completed int `json:"jobs_completed"`
+	}
+	if code := doJSON(t, "GET", ts2.URL+"/v1/cluster", "", &cv); code != 200 {
+		t.Fatalf("cluster after restart: status %d", code)
+	}
+	if cv.Queued+cv.Live == 0 {
+		t.Errorf("restart found no remaining work (completed %d); Stop drained instead of stopping", cv.Completed)
+	}
+}

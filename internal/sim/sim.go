@@ -282,6 +282,12 @@ type Simulator struct {
 	// online service) use it to capture final per-job outcomes.
 	onRetire func(*job.Job) //mlfs:derived observer callback; re-registered by the restoring host
 
+	// onRoundTime, when set, receives the wall-clock duration of every
+	// scheduling round immediately after it runs. Telemetry only — the
+	// value must never feed simulation state. The online service uses it
+	// for its per-round decision-latency histogram.
+	onRoundTime func(seconds float64) //mlfs:derived observer callback; re-registered by the restoring host
+
 	counters metrics.Counters
 
 	// Round feedback handed to reward-driven schedulers. recentCompleted
@@ -753,8 +759,12 @@ func (s *Simulator) runScheduler() {
 	s.lastBWMark = s.counters.BandwidthMB
 	start := time.Now() //mlfs:allow noclock,detflow telemetry: SchedSeconds measures real scheduler overhead (Fig 4g) and never feeds simulation state
 	s.sched.Schedule(s.ctx)
-	s.counters.SchedSeconds += time.Since(start).Seconds() //mlfs:allow noclock,detflow telemetry: wall-time counter only; zeroed by the determinism tests
+	roundSec := time.Since(start).Seconds() //mlfs:allow noclock,detflow telemetry: wall-time value only; zeroed by the determinism tests
+	s.counters.SchedSeconds += roundSec
 	s.counters.SchedRounds++
+	if s.onRoundTime != nil {
+		s.onRoundTime(roundSec)
+	}
 	if s.ctx.Skipped {
 		s.counters.SkippedRounds++
 	}
@@ -1408,3 +1418,11 @@ func (s *Simulator) CancelJob(j *job.Job) {
 // mode). Pass nil to clear. The hook runs synchronously inside the
 // simulation step and must not mutate simulator or job state.
 func (s *Simulator) SetRetireHook(fn func(*job.Job)) { s.onRetire = fn }
+
+// SetRoundTimingHook registers fn to receive the wall-clock duration of
+// each scheduling round, called synchronously right after Schedule()
+// returns. Pass nil to clear. Telemetry only: the hook must not mutate
+// simulator or job state, and the duration must never feed simulation
+// state — it is the per-round source behind the online service's
+// decision-latency histogram.
+func (s *Simulator) SetRoundTimingHook(fn func(seconds float64)) { s.onRoundTime = fn }

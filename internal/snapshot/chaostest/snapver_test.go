@@ -34,6 +34,7 @@ var snapverPinned = map[uint32]uint64{
 	2: 0x8fa799272be060c7,
 	3: 0x7ea661c0a9ac5c17,
 	4: 0x1bd550df07e3c293,
+	5: 0xe50587d483ec5007,
 }
 
 // snapverRoots are the structs whose fields feed snapshot payloads,
