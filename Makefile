@@ -16,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint docs race race-nn race-fault race-incremental resume scale serve-smoke ci bench nnbench simbench faultbench scalebench profile
+.PHONY: all build test vet lint docs race race-nn race-fault race-incremental resume scale serve-smoke failover ci bench nnbench simbench faultbench scalebench profile
 
 all: build
 
@@ -78,7 +78,16 @@ scale:
 serve-smoke:
 	$(GO) test ./internal/loadgen/ -run 'TestServeSmokeParity|TestOpenLoopAgainstLiveServer' -count=1 -v
 
-ci: vet lint docs test race-nn race-fault race-incremental resume scale serve-smoke race
+# Failover chaos pass under the race detector: a hot standby tails the
+# primary's replication stream, the primary is killed cold mid-run, the
+# standby is promoted (explicitly and via -promote-on-loss) and takes
+# the rest of the load; the promoted run must equal the batch oracle
+# over its stitched journal. Backpressure and probe tests ride along —
+# the full overload/failover surface in one target.
+failover:
+	$(GO) test -race ./internal/serve/ -run 'TestFailover|TestPromoteOnLoss|TestBackpressure|TestReadyz' -count=1 -v
+
+ci: vet lint docs test race-nn race-fault race-incremental resume scale serve-smoke failover race
 
 # Micro-benchmarks of the simulator hot path (tick loop, iteration-cost
 # cache, demand wobble) and the NN engine (batched scoring, imitation

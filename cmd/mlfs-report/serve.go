@@ -34,6 +34,12 @@ type serveEntry struct {
 
 	SimTimeSec float64 `json:"sim_time_sec"`
 
+	Shed                  int     `json:"shed_submissions"`
+	ServerShedQueue       int     `json:"server_shed_queue"`
+	ServerShedLookahead   int     `json:"server_shed_lookahead"`
+	ReplicationLagRecords int     `json:"replication_lag_records"`
+	ReplicationLagSeconds float64 `json:"replication_lag_seconds"`
+
 	// The final /v1/result; metrics.Result marshals with Go field
 	// names, so only the columns the table needs are decoded.
 	Result struct {
@@ -72,14 +78,40 @@ func serveTable(sf *serveFile) string {
 	if sf.Headline != "" {
 		fmt.Fprintf(&sb, "%s\n\n", sf.Headline)
 	}
-	sb.WriteString("| scheduler | mode | jobs | wall (s) | submissions/min | submit p50 (ms) | submit p99 (ms) | decision p50 (ms) | decision p99 (ms) | rounds | completed | avg JCT (min) |\n")
-	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	sb.WriteString("| scheduler | mode | jobs | wall (s) | submissions/min | submit p50 (ms) | submit p99 (ms) | decision p50 (ms) | decision p99 (ms) | rounds | completed | shed | avg JCT (min) |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	shedSeen, lagSeen := false, false
 	for _, e := range sf.Entries {
-		fmt.Fprintf(&sb, "| %s | %s | %d | %.2f | %.0f | %.3f | %.3f | %.3f | %.3f | %d | %d | %.1f |\n",
+		fmt.Fprintf(&sb, "| %s | %s | %d | %.2f | %.0f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d | %.1f |\n",
 			e.Result.Scheduler, e.Mode, e.Jobs, e.WallSeconds, e.SubmissionsPerMin,
 			e.SubmitP50Ms, e.SubmitP99Ms, e.DecisionP50Ms, e.DecisionP99Ms,
-			e.DecisionRounds, e.Completed, e.Result.AvgJCTSec/60)
+			e.DecisionRounds, e.Completed, e.Shed, e.Result.AvgJCTSec/60)
+		shedSeen = shedSeen || e.Shed > 0 || e.ServerShedQueue > 0 || e.ServerShedLookahead > 0
+		lagSeen = lagSeen || e.ReplicationLagRecords > 0 || e.ReplicationLagSeconds > 0
 	}
 	sb.WriteString("\n")
+	// Backpressure and replication detail rows, rendered only when a
+	// run actually shed load or trailed a primary — a plain replay
+	// benchmark keeps its table unchanged.
+	if shedSeen {
+		sb.WriteString("#### backpressure\n\n")
+		sb.WriteString("| mode | jobs | shed (client 429s) | server shed: queue | server shed: lookahead |\n")
+		sb.WriteString("|---|---|---|---|---|\n")
+		for _, e := range sf.Entries {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %d | %d |\n",
+				e.Mode, e.Jobs, e.Shed, e.ServerShedQueue, e.ServerShedLookahead)
+		}
+		sb.WriteString("\n")
+	}
+	if lagSeen {
+		sb.WriteString("#### replication lag at drain\n\n")
+		sb.WriteString("| mode | jobs | lag (records) | lag (sim-seconds) |\n")
+		sb.WriteString("|---|---|---|---|\n")
+		for _, e := range sf.Entries {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %.1f |\n",
+				e.Mode, e.Jobs, e.ReplicationLagRecords, e.ReplicationLagSeconds)
+		}
+		sb.WriteString("\n")
+	}
 	return sb.String()
 }

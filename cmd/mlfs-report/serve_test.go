@@ -21,7 +21,18 @@ func TestParseServeJSONAndTable(t *testing.T) {
 			 "submit_p99_ms": 0.853, "decision_rounds": 3877,
 			 "decision_p50_ms": 9.1, "decision_p99_ms": 46.873,
 			 "decision_mean_ms": 12.4, "sim_time_sec": 432000,
-			 "result": {"Scheduler": "mlfs", "AvgJCTSec": 6090}}
+			 "result": {"Scheduler": "mlfs", "AvgJCTSec": 6090}},
+			{"mode": "open", "jobs": 200, "seed": 1,
+			 "trace_duration_sec": 75000, "submitted": 200,
+			 "completed": 200, "cancelled": 0, "wall_seconds": 40.1,
+			 "submissions_per_min": 300, "submit_p50_ms": 0.3,
+			 "submit_p99_ms": 1.2, "decision_rounds": 900,
+			 "decision_p50_ms": 8.0, "decision_p99_ms": 40.0,
+			 "decision_mean_ms": 11.0, "sim_time_sec": 90000,
+			 "shed_submissions": 17, "server_shed_queue": 15,
+			 "server_shed_lookahead": 2,
+			 "replication_lag_records": 3, "replication_lag_seconds": 120.5,
+			 "result": {"Scheduler": "mlfs", "AvgJCTSec": 6000}}
 		]
 	}`
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
@@ -31,17 +42,31 @@ func TestParseServeJSONAndTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sf.Entries) != 1 || sf.Entries[0].Result.Scheduler != "mlfs" {
+	if len(sf.Entries) != 2 || sf.Entries[0].Result.Scheduler != "mlfs" {
 		t.Fatalf("parsed %+v", sf)
 	}
 	md := serveTable(sf)
 	for _, want := range []string{
 		"### serve — online service throughput and latency",
 		"replay: 210978 submissions/min",
-		"| mlfs | replay | 1000 | 77.80 | 210978 | 0.210 | 0.853 | 9.100 | 46.873 | 3877 | 1000 | 101.5 |",
+		"| mlfs | replay | 1000 | 77.80 | 210978 | 0.210 | 0.853 | 9.100 | 46.873 | 3877 | 1000 | 0 | 101.5 |",
+		"#### backpressure",
+		"| open | 200 | 17 | 15 | 2 |",
+		"#### replication lag at drain",
+		"| open | 200 | 3 | 120.5 |",
 	} {
 		if !strings.Contains(md, want) {
 			t.Fatalf("serve table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestServeTableOmitsEmptyDetailSections(t *testing.T) {
+	sf := &serveFile{Entries: []serveEntry{{Mode: "replay", Jobs: 10}}}
+	md := serveTable(sf)
+	for _, banned := range []string{"#### backpressure", "#### replication lag"} {
+		if strings.Contains(md, banned) {
+			t.Fatalf("detail section %q rendered for a run with no sheds or lag:\n%s", banned, md)
 		}
 	}
 }

@@ -4,13 +4,18 @@
 // time (-timescale) or as fast as it can. Accepted submissions and
 // cancellations are journaled and the full service state is
 // snapshotted on a tick cadence, so a restarted server resumes the
-// run bit-identically.
+// run bit-identically. Admission bounds (-max-queued, -max-lookahead)
+// shed overload with 429 + Retry-After, and a second instance started
+// with -follow tails the primary's journal stream as a read-only hot
+// standby, promotable on primary loss.
 //
 // Examples:
 //
 //	mlfs-serve -scheduler mlfs -addr :8080
 //	mlfs-serve -scheduler mlfs -timescale 60 -journal run.jsonl \
 //	    -snapshot-every 500 -snapshot run.snap
+//	mlfs-serve -addr :8081 -journal standby.jsonl \
+//	    -follow http://localhost:8080 -promote-on-loss 10s
 //	curl -s localhost:8080/v1/jobs -d '{"gpus": 4}'
 //
 // See OPERATIONS.md for the full API and metrics reference.
@@ -53,6 +58,18 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 0, "write a service snapshot every N ticks (0 disables; requires -snapshot and -journal)")
 		snapPath  = flag.String("snapshot", "", "snapshot file path (reloaded on start when present)")
 		jourPath  = flag.String("journal", "", "journal path for accepted submissions and cancellations (replayed on start when present)")
+		fsync     = flag.Bool("journal-fsync", true, "fsync the journal after every append (acknowledged records survive power loss)")
+
+		maxQueued    = flag.Int("max-queued", 0, "admission bound: submissions awaiting simulator admission before shedding with 429 (0 = unlimited)")
+		maxLookahead = flag.Float64("max-lookahead", 0, "admission bound: sim-seconds a submission's arrival may lie ahead of the clock (0 = unlimited)")
+
+		readHeaderTO = flag.Duration("read-header-timeout", 0, "HTTP read-header timeout (0 = 10s default, negative disables)")
+		readTO       = flag.Duration("read-timeout", 0, "HTTP read timeout (0 = 30s default, negative disables)")
+		writeTO      = flag.Duration("write-timeout", 0, "HTTP write timeout (0 = 60s default, negative disables)")
+		idleTO       = flag.Duration("idle-timeout", 0, "HTTP idle-connection timeout (0 = 120s default, negative disables)")
+
+		follow        = flag.String("follow", "", "run as a hot-standby follower of this primary base URL (e.g. http://primary:8080)")
+		promoteOnLoss = flag.Duration("promote-on-loss", 0, "self-promote after the primary has been unreachable this long (0 = explicit POST /v1/promote only)")
 	)
 	flag.Parse()
 
@@ -69,7 +86,19 @@ func main() {
 		SnapshotEvery:  *snapEvery,
 		SnapshotPath:   *snapPath,
 		JournalPath:    *jourPath,
+		NoJournalFsync: !*fsync,
 		StartPaused:    *paused,
+
+		MaxQueuedJobs:   *maxQueued,
+		MaxLookaheadSec: *maxLookahead,
+
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+
+		FollowURL:     *follow,
+		PromoteOnLoss: *promoteOnLoss,
 	}
 	if *mttf > 0 {
 		fs := *failSeed
@@ -103,6 +132,9 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	if *follow != "" {
+		fmt.Fprintf(os.Stderr, "mlfs-serve: following %s (read-only; POST /v1/promote to take over)\n", *follow)
+	}
 	fmt.Fprintf(os.Stderr, "mlfs-serve: %s scheduler on %s (timescale %g)\n",
 		*scheduler, ln.Addr(), *timescale)
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"mlfs/internal/metrics"
@@ -86,6 +87,20 @@ type Report struct {
 	DecisionMeanMs float64 `json:"decision_mean_ms"`
 
 	SimTimeSec float64 `json:"sim_time_sec"`
+
+	// Backpressure: Shed counts the 429 responses this client absorbed
+	// (each submission is retried after the server's Retry-After until
+	// accepted); the Server* pair is the server's own
+	// mlfs_load_shed_total split by exceeded bound.
+	Shed                int     `json:"shed_submissions,omitempty"`
+	RetryWaitSeconds    float64 `json:"retry_wait_seconds,omitempty"`
+	ServerShedQueue     int     `json:"server_shed_queue,omitempty"`
+	ServerShedLookahead int     `json:"server_shed_lookahead,omitempty"`
+
+	// Replication (zero on a standalone primary): the served instance's
+	// lag behind its primary at drain time.
+	ReplicationLagRecords int     `json:"replication_lag_records,omitempty"`
+	ReplicationLagSeconds float64 `json:"replication_lag_seconds,omitempty"`
 
 	// Result is the drained server's /v1/result — in replay mode,
 	// comparable against the batch oracle for the same records.
@@ -169,6 +184,45 @@ func (c *client) post(path string, body, out any) error {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+// submit posts one job, honouring backpressure: a 429 is not an error
+// but a pacing signal — the client sleeps for the server's Retry-After
+// (default 1 s) and retries until the deadline. Returns how many sheds
+// it absorbed and the total wall time spent waiting on them.
+func (c *client) submit(body any, deadline time.Time) (shed int, waited time.Duration, err error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for {
+		resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return shed, waited, err
+		}
+		if resp.StatusCode/100 == 2 {
+			resp.Body.Close()
+			return shed, waited, nil
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return shed, waited, fmt.Errorf("loadgen: POST /v1/jobs: %s (%s)", resp.Status, apiErr.Error)
+		}
+		shed++
+		wait := time.Second
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return shed, waited, fmt.Errorf("loadgen: still shed after deadline: %s (%s)", resp.Status, apiErr.Error)
+		}
+		waited += wait
+		time.Sleep(wait)
+	}
 }
 
 func (c *client) get(path string, out any) error {
@@ -279,6 +333,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	lat := make([]float64, 0, len(records))
+	shedTotal := 0
+	var retryWait time.Duration
 	for i, r := range records {
 		if cfg.Open {
 			// Pace against the wall clock; no arrival stamp, the server
@@ -289,10 +345,16 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 		t0 := time.Now()
-		if err := c.post("/v1/jobs", bodyFor(r, !cfg.Open), nil); err != nil {
+		shed, waited, err := c.submit(bodyFor(r, !cfg.Open), deadline)
+		shedTotal += shed
+		retryWait += waited
+		if err != nil {
 			return nil, fmt.Errorf("loadgen: job %d: %w", i, err)
 		}
-		lat = append(lat, time.Since(t0).Seconds())
+		// Submission latency excludes backpressure waits: it measures
+		// the accepting round-trip, not the shed budget (reported
+		// separately).
+		lat = append(lat, (time.Since(t0) - waited).Seconds())
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("loadgen: timeout after %d/%d submissions", i+1, len(records))
 		}
@@ -333,6 +395,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	shedQueue, _ := parseValue(expo, `mlfs_load_shed_total{reason="queue"}`)
+	shedLook, _ := parseValue(expo, `mlfs_load_shed_total{reason="lookahead"}`)
+	lagRecords, _ := parseValue(expo, "mlfs_replication_lag_records")
+	lagSeconds, _ := parseValue(expo, "mlfs_replication_lag_seconds")
 
 	sort.Float64s(lat)
 	rep := &Report{
@@ -358,7 +424,16 @@ func Run(cfg Config) (*Report, error) {
 		DecisionMeanMs: dh.mean() * 1e3,
 
 		SimTimeSec: cv.SimTimeSec,
-		Result:     &result,
+
+		Shed:                shedTotal,
+		RetryWaitSeconds:    retryWait.Seconds(),
+		ServerShedQueue:     int(shedQueue),
+		ServerShedLookahead: int(shedLook),
+
+		ReplicationLagRecords: int(lagRecords),
+		ReplicationLagSeconds: lagSeconds,
+
+		Result: &result,
 	}
 	return rep, nil
 }

@@ -70,6 +70,25 @@ func parseHistogram(expo, name string) (*promHistogram, error) {
 	return h, nil
 }
 
+// parseValue reads a single-sample series out of an exposition by its
+// exact name (label set included, e.g.
+// `mlfs_load_shed_total{reason="queue"}`). ok is false when the series
+// is absent — callers treat that as zero, so the generator keeps
+// working against servers predating the series.
+func parseValue(expo, series string) (v float64, ok bool) {
+	for _, line := range strings.Split(expo, "\n") {
+		if len(line) == 0 || line[0] == '#' || !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(line[len(series)+1:]), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
 // quantile estimates the q-th quantile (0-1) by linear interpolation
 // within the first bucket whose cumulative count reaches rank q·count.
 func (h *promHistogram) quantile(q float64) float64 {

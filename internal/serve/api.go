@@ -87,6 +87,7 @@ type ClusterStatus struct {
 	Tick           int     `json:"tick"`
 	SimTimeSec     float64 `json:"sim_time_sec"`
 	Paused         bool    `json:"paused"`
+	Follower       bool    `json:"follower,omitempty"`
 	Timescale      float64 `json:"timescale"`
 	Submitted      int     `json:"jobs_submitted"`
 	Queued         int     `json:"jobs_queued"`
@@ -103,13 +104,27 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// httpError carries a status code out of a loop closure.
+// maxSubmitBytes caps a POST /v1/jobs body. Far above any legitimate
+// SubmitRequest, far below journalMaxLine — an accepted record must
+// always replay.
+const maxSubmitBytes = 1 << 20
+
+// httpError carries a status code out of a loop closure. retryAfter
+// (seconds, 0 = none) becomes a Retry-After header on shed responses.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// errFollower is the uniform rejection every mutating endpoint returns
+// while the server is an unpromoted hot standby.
+func errFollower() *httpError {
+	return &httpError{code: http.StatusServiceUnavailable,
+		msg: "read-only follower: POST /v1/promote to accept writes"}
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -134,6 +149,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush lets streaming handlers (replication) flush through the
+// recorder; a no-op when the underlying writer cannot stream.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with the per-handler request counter.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +177,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/pause", s.instrument("pause", s.handlePause))
 	mux.HandleFunc("POST /v1/resume", s.instrument("resume", s.handleResume))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/replicate", s.instrument("replicate", s.handleReplicate))
+	mux.HandleFunc("POST /v1/promote", s.instrument("promote", s.handlePromote))
 	return mux
 }
 
@@ -187,7 +213,7 @@ func buildRecord(req SubmitRequest, id int64, arrival float64) (trace.Record, er
 	if req.Family != "" {
 		f, ok := learncurve.ParseFamily(req.Family)
 		if !ok {
-			return rec, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown family %q", req.Family)}
+			return rec, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("unknown family %q", req.Family)}
 		}
 		rec.Family = f
 	}
@@ -198,17 +224,17 @@ func buildRecord(req SubmitRequest, id int64, arrival float64) (trace.Record, er
 	case "allreduce":
 		rec.Comm = job.AllReduce
 	default:
-		return rec, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown comm %q (want ps or allreduce)", req.Comm)}
+		return rec, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("unknown comm %q (want ps or allreduce)", req.Comm)}
 	}
 	if req.Urgency != 0 {
 		if req.Urgency < 0 {
-			return rec, &httpError{http.StatusBadRequest, "urgency must be positive"}
+			return rec, &httpError{code: http.StatusBadRequest, msg: "urgency must be positive"}
 		}
 		rec.Urgency = req.Urgency
 	}
 	if req.TargetFrac != 0 {
 		if req.TargetFrac < 0 || req.TargetFrac > 1 {
-			return rec, &httpError{http.StatusBadRequest, "target_frac must be in (0, 1]"}
+			return rec, &httpError{code: http.StatusBadRequest, msg: "target_frac must be in (0, 1]"}
 		}
 		rec.TargetFrac = req.TargetFrac
 	}
@@ -223,14 +249,14 @@ func buildRecord(req SubmitRequest, id int64, arrival float64) (trace.Record, er
 	}
 	if req.DeadlineSlackSec != 0 {
 		if req.DeadlineSlackSec < 0 {
-			return rec, &httpError{http.StatusBadRequest, "deadline_slack_sec must be >= 0"}
+			return rec, &httpError{code: http.StatusBadRequest, msg: "deadline_slack_sec must be >= 0"}
 		}
 		rec.DeadlineSlackSec = req.DeadlineSlackSec
 	}
 	if req.StopOption != "" {
 		opt, ok := parseStopOption(req.StopOption)
 		if !ok {
-			return rec, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown stop_option %q (want run-to-max, optstop or stop-at-target)", req.StopOption)}
+			return rec, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("unknown stop_option %q (want run-to-max, optstop or stop-at-target)", req.StopOption)}
 		}
 		rec.StopOption = opt
 	}
@@ -243,9 +269,14 @@ func buildRecord(req SubmitRequest, id int64, arrival float64) (trace.Record, er
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t0 := wallNow()
 	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -260,30 +291,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var resp SubmitResponse
 	var herr *httpError
 	err := s.do(func() {
+		if s.follower {
+			herr = errFollower()
+			return
+		}
 		id := s.nextID
 		arrival := s.liveArrival()
 		if req.ArrivalSec != nil {
 			arrival = *req.ArrivalSec
 			if la := s.queue.lastArrival(); arrival < la {
-				herr = &httpError{http.StatusConflict,
-					fmt.Sprintf("arrival_sec %g precedes the stream tail %g (submissions must arrive in nondecreasing order)", arrival, la)}
+				herr = &httpError{code: http.StatusConflict,
+					msg: fmt.Sprintf("arrival_sec %g precedes the stream tail %g (submissions must arrive in nondecreasing order)", arrival, la)}
 				return
 			}
 			// An arrival behind the simulation clock would be admitted
 			// late live but on time in a journal replay, breaking the
 			// replay-parity contract — refuse it.
 			if now := s.sim.Now(); arrival < now {
-				herr = &httpError{http.StatusConflict,
-					fmt.Sprintf("arrival_sec %g is in the simulation past (clock at %g); omit it to let the server stamp the arrival", arrival, now)}
+				herr = &httpError{code: http.StatusConflict,
+					msg: fmt.Sprintf("arrival_sec %g is in the simulation past (clock at %g); omit it to let the server stamp the arrival", arrival, now)}
 				return
 			}
+		}
+		if herr = s.admit(arrival); herr != nil {
+			return
 		}
 		rec, err := buildRecord(req, id, arrival)
 		if err != nil {
 			if !errors.As(err, &herr) {
 				// Every rejection today is a *httpError, but don't let a
 				// future buildRecord edit fall through to a bogus 201.
-				herr = &httpError{http.StatusBadRequest, err.Error()}
+				herr = &httpError{code: http.StatusBadRequest, msg: err.Error()}
 			}
 			return
 		}
@@ -293,16 +331,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var cursor job.TaskID
 		probe, err := trace.Materialize(rec, &cursor)
 		if err != nil {
-			herr = &httpError{http.StatusBadRequest, err.Error()}
+			herr = &httpError{code: http.StatusBadRequest, msg: err.Error()}
 			return
 		}
 		if n := probe.GPUsRequested(); n > s.totalGPUs {
-			herr = &httpError{http.StatusBadRequest,
-				fmt.Sprintf("job requests %d GPUs but the cluster has %d", n, s.totalGPUs)}
+			herr = &httpError{code: http.StatusBadRequest,
+				msg: fmt.Sprintf("job requests %d GPUs but the cluster has %d", n, s.totalGPUs)}
 			return
 		}
 		if _, err := s.enqueue(rec); err != nil {
-			herr = &httpError{http.StatusInternalServerError, err.Error()}
+			herr = &httpError{code: http.StatusInternalServerError, msg: err.Error()}
 			return
 		}
 		resp = SubmitResponse{ID: id, ArrivalSec: arrival, State: "queued"}
@@ -312,6 +350,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if herr != nil {
+		if herr.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(herr.retryAfter))
+		}
 		writeErr(w, herr.code, "%s", herr.msg)
 		return
 	}
@@ -417,14 +458,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	var herr *httpError
 	code := http.StatusOK
 	err := s.do(func() {
+		if s.follower {
+			herr = errFollower()
+			return
+		}
 		e := s.entries[id]
 		if e == nil {
-			herr = &httpError{http.StatusNotFound, fmt.Sprintf("no job %d", id)}
+			herr = &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no job %d", id)}
 			return
 		}
 		if e.done {
-			herr = &httpError{http.StatusConflict,
-				fmt.Sprintf("job %d already finalised (%s)", id, s.statusOf(e).State)}
+			herr = &httpError{code: http.StatusConflict,
+				msg: fmt.Sprintf("job %d already finalised (%s)", id, s.statusOf(e).State)}
 			return
 		}
 		// Journal before applying, like a submission: an acknowledged
@@ -433,7 +478,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// still-pending cancel are acknowledged without a second record.
 		if !e.cancelRequested {
 			if _, jerr := s.journalCancel(e); jerr != nil {
-				herr = &httpError{http.StatusInternalServerError, jerr.Error()}
+				herr = &httpError{code: http.StatusInternalServerError, msg: jerr.Error()}
 				return
 			}
 			s.applyCancel(e)
@@ -485,7 +530,31 @@ func (s *Server) collectStats() statsSnapshot {
 		gpuUtil:   cl.MeanUtilization()[cluster.ResGPU],
 		snapshots: s.snapshots,
 		uptimeSec: wallNow().Sub(s.startWall).Seconds(),
+
+		shedQueue:     s.shedQueue,
+		shedLookahead: s.shedLookahead,
+		maxQueued:     s.cfg.MaxQueuedJobs,
+		maxLookahead:  s.cfg.MaxLookaheadSec,
+
+		follower:      s.follower,
+		repApplied:    s.repApplied,
+		repLocalSeq:   s.rep.len(),
+		repPrimarySeq: s.repPrimarySeq,
+		repLagSec:     s.replicationLagSec(),
 	}
+}
+
+// replicationLagSec is the simulated-seconds gap between the primary's
+// last-seen horizon and the local clock; zero on a primary. Loop
+// context.
+func (s *Server) replicationLagSec() float64 {
+	if !s.follower {
+		return 0
+	}
+	if d := s.followHorizon - s.sim.Now(); d > 0 {
+		return d
+	}
+	return 0
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +571,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Tick:           st.tick,
 		SimTimeSec:     st.simSec,
 		Paused:         st.paused,
+		Follower:       st.follower,
 		Timescale:      st.timescale,
 		Submitted:      st.submitted,
 		Queued:         st.queued,
@@ -524,21 +594,87 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
-	var paused bool
-	if err := s.do(func() { s.paused = true; s.anchored = false; paused = s.paused }); err != nil {
+	s.handleSetPaused(w, true)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	s.handleSetPaused(w, false)
+}
+
+func (s *Server) handleSetPaused(w http.ResponseWriter, paused bool) {
+	var herr *httpError
+	err := s.do(func() {
+		if s.follower {
+			// A follower's pacing belongs to the primary; pausing it
+			// would only grow replication lag invisibly.
+			herr = errFollower()
+			return
+		}
+		s.paused = paused
+		s.anchored = false
+	})
+	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if herr != nil {
+		writeErr(w, herr.code, "%s", herr.msg)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"paused": paused})
 }
 
-func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
-	var paused bool
-	if err := s.do(func() { s.paused = false; s.anchored = false; paused = s.paused }); err != nil {
+// handlePromote turns a follower into the writer. Idempotent: promoting
+// a server that is already the writer reports promoted=false.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var did bool
+	if err := s.do(func() { did = s.promoteLocked() }); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"paused": paused})
+	writeJSON(w, http.StatusOK, map[string]bool{"promoted": did})
+}
+
+// handleReadyz is the readiness probe: 200 exactly when the event loop
+// is accepting writes. Distinct from /healthz (liveness): a recovering
+// or follower server is alive but must not receive traffic from a
+// writer-facing load balancer.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}
+	select {
+	case <-s.startedc:
+	default:
+		// Recovery (snapshot restore + journal load) runs in New,
+		// before Start: until the loop exists nothing can accept a
+		// write, and this path must not block on it.
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "starting: recovering journal and snapshot"})
+		return
+	}
+	var rd readiness
+	err := s.do(func() {
+		switch {
+		case s.follower:
+			rd.Reason = "follower: read-only until promoted"
+		case s.stopping:
+			rd.Reason = "shutting down"
+		case s.runErr != nil:
+			rd.Reason = "run failed: " + s.runErr.Error()
+		default:
+			rd.Ready = true
+		}
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

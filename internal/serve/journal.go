@@ -27,9 +27,22 @@ import (
 // journaled cancel is re-applied once the replay clock reaches its
 // stamp, through the same code path a live DELETE takes.
 //
+// Durability: by default every append is fsync'd (bufio flush + OS
+// write + f.Sync) before the acknowledging response, so an
+// acknowledged mutation survives power loss, not just a process crash.
+// Config.NoJournalFsync drops the Sync — acknowledged records then
+// live in the OS page cache until the kernel writes them back, which
+// survives a process kill but not a host failure.
+//
 // encoding/json round-trips float64 exactly (shortest-representation
 // formatting), so a replayed record is bit-identical to the submitted
 // one — the journal preserves run identity, not an approximation.
+
+// journalMaxLine bounds one journal line on read. It is deliberately
+// far above the submit-body cap (maxSubmitBytes): any record the API
+// accepted live must also replay, so an oversized-but-legal line may
+// never be accepted by the writer and then rejected by the reader.
+const journalMaxLine = 8 << 20
 
 // CancelRecord is one journaled cancellation: the cancel of job JobID
 // was acknowledged at simulation time AtSec. Replays apply it at the
@@ -50,13 +63,15 @@ type journalLine struct {
 
 // journal appends acknowledged mutations to a JSONL file.
 type journal struct {
-	f *os.File
-	w *bufio.Writer
+	f    *os.File
+	w    *bufio.Writer
+	sync bool // fsync after every append (the default durability level)
 }
 
 // openJournal opens path for appending, creating it if absent. An
 // empty path disables journaling (nil journal; all methods no-op).
-func openJournal(path string) (*journal, error) {
+// sync enables per-append fsync.
+func openJournal(path string, sync bool) (*journal, error) {
 	if path == "" {
 		return nil, nil
 	}
@@ -64,34 +79,57 @@ func openJournal(path string) (*journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+	return &journal{f: f, w: bufio.NewWriter(f), sync: sync}, nil
 }
 
-// appendLine writes one envelope and flushes it to the OS before
-// returning, so an acknowledged mutation survives a process crash.
-func (j *journal) appendLine(line journalLine) error {
+// appendRaw writes one pre-marshaled envelope line (no trailing
+// newline) and makes it durable before returning. The replication
+// apply path uses it so a follower's journal is byte-identical to the
+// primary's.
+func (j *journal) appendRaw(line []byte) error {
 	if j == nil {
 		return nil
 	}
-	b, err := json.Marshal(line)
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// marshalLine produces the canonical one-line encoding of an envelope
+// — the exact bytes appendSubmit/appendCancel write and the
+// replication stream carries.
+func marshalLine(line journalLine) ([]byte, error) {
+	return json.Marshal(line)
+}
+
+// appendSubmit journals one accepted submission and returns the
+// canonical line written (for the replication log).
+func (j *journal) appendSubmit(r trace.Record) ([]byte, error) {
+	b, err := marshalLine(journalLine{Submit: &r})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	b = append(b, '\n')
-	if _, err := j.w.Write(b); err != nil {
-		return err
-	}
-	return j.w.Flush()
+	return b, j.appendRaw(b)
 }
 
-// appendSubmit journals one accepted submission.
-func (j *journal) appendSubmit(r trace.Record) error {
-	return j.appendLine(journalLine{Submit: &r})
-}
-
-// appendCancel journals one acknowledged cancellation.
-func (j *journal) appendCancel(c CancelRecord) error {
-	return j.appendLine(journalLine{Cancel: &c})
+// appendCancel journals one acknowledged cancellation and returns the
+// canonical line written.
+func (j *journal) appendCancel(c CancelRecord) ([]byte, error) {
+	b, err := marshalLine(journalLine{Cancel: &c})
+	if err != nil {
+		return nil, err
+	}
+	return b, j.appendRaw(b)
 }
 
 // Close flushes and closes the file.
@@ -106,24 +144,27 @@ func (j *journal) Close() error {
 	return j.f.Close()
 }
 
-// readJournal loads every record from path, split by kind, each slice
-// in append order. A missing file is an empty journal. A malformed
-// line fails the load: the journal is the run's ground truth, so
-// silently dropping records would silently change the workload.
-func readJournal(path string) (records []trace.Record, cancels []CancelRecord, err error) {
+// readJournalEnvelopes loads every envelope from path in append order
+// — the representation replication needs, since submissions and
+// cancellations interleave. A missing file is an empty journal. A
+// malformed line fails the load: the journal is the run's ground
+// truth, so silently dropping records would silently change the
+// workload.
+func readJournalEnvelopes(path string) ([]journalLine, error) {
 	if path == "" {
-		return nil, nil, nil
+		return nil, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil, nil
+			return nil, nil
 		}
-		return nil, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), journalMaxLine)
+	var envs []journalLine
 	line := 0
 	for sc.Scan() {
 		line++
@@ -132,19 +173,40 @@ func readJournal(path string) (records []trace.Record, cancels []CancelRecord, e
 		}
 		var l journalLine
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
-			return nil, nil, fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
+			return nil, fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
 		}
-		switch {
-		case l.Submit != nil && l.Cancel == nil:
-			records = append(records, *l.Submit)
-		case l.Cancel != nil && l.Submit == nil:
-			cancels = append(cancels, *l.Cancel)
-		default:
-			return nil, nil, fmt.Errorf("serve: journal %s line %d: want exactly one of submit or cancel", path, line)
+		if (l.Submit == nil) == (l.Cancel == nil) {
+			return nil, fmt.Errorf("serve: journal %s line %d: want exactly one of submit or cancel", path, line)
 		}
+		envs = append(envs, l)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("serve: journal %s: %w", path, err)
+		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
 	}
+	return envs, nil
+}
+
+// splitEnvelopes separates an ordered envelope stream into its
+// submission and cancellation halves, each in append order.
+func splitEnvelopes(envs []journalLine) (records []trace.Record, cancels []CancelRecord) {
+	for _, l := range envs {
+		switch {
+		case l.Submit != nil:
+			records = append(records, *l.Submit)
+		case l.Cancel != nil:
+			cancels = append(cancels, *l.Cancel)
+		}
+	}
+	return records, cancels
+}
+
+// readJournal loads every record from path, split by kind, each slice
+// in append order.
+func readJournal(path string) (records []trace.Record, cancels []CancelRecord, err error) {
+	envs, err := readJournalEnvelopes(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	records, cancels = splitEnvelopes(envs)
 	return records, cancels, nil
 }

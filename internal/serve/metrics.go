@@ -103,6 +103,19 @@ type statsSnapshot struct {
 
 	snapshots uint64
 	uptimeSec float64
+
+	// Admission control.
+	shedQueue     uint64  // 429s at the queued-jobs bound
+	shedLookahead uint64  // 429s at the lookahead bound
+	maxQueued     int     // configured bound (0 = unlimited)
+	maxLookahead  float64 // configured bound (0 = unlimited)
+
+	// Replication.
+	follower      bool
+	repApplied    uint64  // envelopes applied from the primary
+	repLocalSeq   int     // envelopes in the local journal
+	repPrimarySeq int     // primary's envelope count at last contact
+	repLagSec     float64 // primary horizon minus local sim clock
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -179,6 +192,30 @@ func (s *Server) renderMetrics(st statsSnapshot) string {
 	writeSeries(&b, "mlfs_paused", "gauge", "1 while the event loop is paused, else 0.", paused)
 	writeSeries(&b, "mlfs_timescale", "gauge", "Simulated seconds per wall second (0 = as fast as possible).", st.timescale)
 	writeSeries(&b, "mlfs_uptime_seconds", "gauge", "Wall seconds since the process started serving.", st.uptimeSec)
+
+	// Admission control: the shed counters and the bounds they enforce
+	// (a bound of 0 means unlimited). mlfs_jobs_queued above is the
+	// gauge the queue bound caps.
+	fmt.Fprintf(&b, "# HELP mlfs_load_shed_total Submissions shed with 429 at admission, by exceeded bound.\n# TYPE mlfs_load_shed_total counter\n")
+	fmt.Fprintf(&b, "mlfs_load_shed_total{reason=\"queue\"} %d\n", st.shedQueue)
+	fmt.Fprintf(&b, "mlfs_load_shed_total{reason=\"lookahead\"} %d\n", st.shedLookahead)
+	writeSeries(&b, "mlfs_admission_queue_limit", "gauge", "Configured bound on submissions awaiting admission (0 = unlimited).", float64(st.maxQueued))
+	writeSeries(&b, "mlfs_admission_lookahead_seconds", "gauge", "Configured bound on sim-seconds of arrival lookahead (0 = unlimited).", st.maxLookahead)
+
+	// Replication.
+	follower := 0.0
+	if st.follower {
+		follower = 1
+	}
+	writeSeries(&b, "mlfs_follower", "gauge", "1 while this server is an unpromoted hot-standby follower, else 0.", follower)
+	writeSeries(&b, "mlfs_replication_applied_total", "counter", "Journal envelopes applied from the primary's replication stream.", float64(st.repApplied))
+	writeSeries(&b, "mlfs_replication_local_seq", "gauge", "Journal envelopes held locally (the replication sequence cursor).", float64(st.repLocalSeq))
+	lagRecords := st.repPrimarySeq - st.repLocalSeq
+	if lagRecords < 0 || !st.follower {
+		lagRecords = 0
+	}
+	writeSeries(&b, "mlfs_replication_lag_records", "gauge", "Envelopes the primary holds that this follower has not applied.", float64(lagRecords))
+	writeSeries(&b, "mlfs_replication_lag_seconds", "gauge", "Simulated seconds between the primary's horizon and the local clock.", st.repLagSec)
 
 	// Handler-side series.
 	s.reg.mu.Lock()

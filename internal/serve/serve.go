@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -52,6 +53,29 @@ const serveHorizon = 1e15
 // serveStateVersion versions the service's own snapshot section (the
 // wrapper around the simulator payload).
 const serveStateVersion = 1
+
+// Default http.Server timeouts (Config zero values). Chosen so a
+// slowloris client cannot pin a connection indefinitely while leaving
+// comfortable room for the replicate long-poll (bounded at half the
+// write timeout) and large submit bodies.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultReadTimeout       = 30 * time.Second
+	defaultWriteTimeout      = 60 * time.Second
+	defaultIdleTimeout       = 120 * time.Second
+)
+
+// timeoutOr maps a Config timeout to the http.Server value: zero picks
+// the hardened default, negative disables the timeout.
+func timeoutOr(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
 
 // errServerClosed is returned by API calls after the event loop exits.
 var errServerClosed = errors.New("serve: server closed")
@@ -106,6 +130,42 @@ type Config struct {
 	// /v1/resume lifts it). The load generator's replay mode uses this
 	// to enqueue a whole workload before the first tick.
 	StartPaused bool
+
+	// Admission control. Zero disables each bound (the default —
+	// replay-mode tooling enqueues entire workloads up front). When a
+	// bound is exceeded POST /v1/jobs sheds the submission with 429 and
+	// a Retry-After derived from the timescale.
+	//
+	// MaxQueuedJobs caps submissions accepted but not yet admitted by
+	// the simulator; MaxLookaheadSec caps how far (in simulated
+	// seconds) a submission's arrival may lie ahead of the simulation
+	// clock.
+	MaxQueuedJobs   int
+	MaxLookaheadSec float64
+
+	// NoJournalFsync drops the per-append f.Sync: acknowledged records
+	// then survive a process crash but not a host failure. See the
+	// durability note in journal.go.
+	NoJournalFsync bool
+
+	// HTTP server timeouts. Zero selects a hardened default
+	// (10s/30s/60s/120s); negative disables that timeout.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+
+	// FollowURL makes this server a hot-standby follower: it tails the
+	// primary's journal stream at this base URL (e.g.
+	// "http://primary:8080"), applies every envelope live, and serves
+	// read-only endpoints until promoted (POST /v1/promote).
+	FollowURL string
+	// PromoteOnLoss self-promotes a follower after the primary has been
+	// unreachable for this long. Zero means only explicit promotion.
+	PromoteOnLoss time.Duration
+	// ReplicateWait bounds one /v1/replicate long-poll response
+	// (default replicateDefaultWait, clamped under WriteTimeout).
+	ReplicateWait time.Duration
 }
 
 // jobEntry is the service-side registry record for one submission.
@@ -152,6 +212,16 @@ type Server struct {
 	killOnce sync.Once
 	finalErr error // written by the loop before loopDone closes
 
+	startedc  chan struct{} // closed by Start; gates /readyz
+	startOnce sync.Once
+
+	// rep is the sequenced in-memory journal copy behind /v1/replicate
+	// (mutex-guarded internally); replicateWait bounds one long-poll.
+	rep           *repLog
+	replicateWait time.Duration
+	promotec      chan struct{} // closed on promotion; stops the tailer
+	promoteOnce   sync.Once
+
 	// Everything below is loop-owned after Start (New builds it before
 	// the loop goroutine exists, which happens-before the loop's reads).
 	sim       *sim.Simulator
@@ -179,6 +249,19 @@ type Server struct {
 	anchored bool
 	baseWall time.Time
 	baseSim  float64
+
+	// Follower state. While follower is true the server is a read-only
+	// hot standby: mutations are refused, and the simulator never steps
+	// past followHorizon — the primary's clock as of the last horizon
+	// line received, which is what keeps the follower's run a paced
+	// journal replay (see replicate.go).
+	follower      bool
+	followHorizon float64
+	repApplied    uint64 // envelopes applied from the primary
+	repPrimarySeq int    // primary's envelope count at last contact
+
+	shedQueue     uint64 // submissions shed at the queued-jobs bound
+	shedLookahead uint64 // submissions shed at the lookahead bound
 
 	lastSnapTick int
 	startWall    time.Time
@@ -317,9 +400,22 @@ func New(cfg Config) (*Server, error) {
 		stopc:    make(chan struct{}),
 		killc:    make(chan struct{}),
 		loopDone: make(chan struct{}),
+		startedc: make(chan struct{}),
+		promotec: make(chan struct{}),
+		rep:      newRepLog(),
 		entries:  make(map[int64]*jobEntry),
 		paused:   cfg.StartPaused,
 		nextID:   1,
+		follower: cfg.FollowURL != "",
+	}
+	s.replicateWait = cfg.ReplicateWait
+	if s.replicateWait <= 0 {
+		s.replicateWait = replicateDefaultWait
+	}
+	if wt := timeoutOr(cfg.WriteTimeout, defaultWriteTimeout); wt > 0 && s.replicateWait > wt/2 {
+		// Keep the long-poll window safely inside the connection write
+		// deadline, or every replicate response would be cut mid-stream.
+		s.replicateWait = wt / 2
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -334,7 +430,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.totalGPUs = s.sim.Cluster().NumGPUs()
 	s.startWall = wallNow()
-	s.httpSrv = &http.Server{Handler: s.Handler()}
+	// Timeouts on every axis a slow or hostile client could pin: header
+	// read, body read, response write, idle keep-alive.
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: timeoutOr(cfg.ReadHeaderTimeout, defaultReadHeaderTimeout),
+		ReadTimeout:       timeoutOr(cfg.ReadTimeout, defaultReadTimeout),
+		WriteTimeout:      timeoutOr(cfg.WriteTimeout, defaultWriteTimeout),
+		IdleTimeout:       timeoutOr(cfg.IdleTimeout, defaultIdleTimeout),
+	}
 	s.sim.SetRetireHook(s.onRetire)
 	s.sim.SetRoundTimingHook(s.onRound)
 	return s, nil
@@ -387,11 +491,24 @@ func (s *Server) addEntry(rec trace.Record) *jobEntry {
 // with the journal (longer than it, or a workload fingerprint
 // mismatch) is an operator error and refuses to start.
 func (s *Server) recover() error {
-	records, cancels, err := readJournal(s.cfg.JournalPath)
+	envs, err := readJournalEnvelopes(s.cfg.JournalPath)
 	if err != nil {
 		return err
 	}
+	records, cancels := splitEnvelopes(envs)
 	s.info.JournalRecords = len(records)
+
+	// Seed the replication log with the canonical line of every
+	// recovered envelope: a follower connecting with from=0 (or a stale
+	// cursor) must be able to fetch the whole journal, and sequence
+	// numbers must survive a primary restart.
+	repLines := make([][]byte, len(envs))
+	for i, env := range envs {
+		if repLines[i], err = marshalLine(env); err != nil {
+			return err
+		}
+	}
+	s.rep.seed(repLines)
 
 	var snapBytes []byte
 	if s.cfg.SnapshotPath != "" {
@@ -444,7 +561,7 @@ func (s *Server) recover() error {
 	if err := s.scheduleRecoveredCancels(cancels); err != nil {
 		return err
 	}
-	s.journal, err = openJournal(s.cfg.JournalPath)
+	s.journal, err = openJournal(s.cfg.JournalPath, !s.cfg.NoJournalFsync)
 	return err
 }
 
@@ -555,14 +672,23 @@ func (s *Server) restoreFrom(snapBytes []byte, records []trace.Record) error {
 		s.addEntry(rec)
 	}
 	s.lastSnapTick = siml.Tick()
-	s.journal, err = openJournal(s.cfg.JournalPath)
+	s.journal, err = openJournal(s.cfg.JournalPath, !s.cfg.NoJournalFsync)
 	return err
 }
 
 func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
 
-// Start launches the event loop.
-func (s *Server) Start() { go s.loop() }
+// Start launches the event loop (and, for a follower, the replication
+// tailer). Safe to call more than once.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		close(s.startedc)
+		go s.loop()
+		if s.cfg.FollowURL != "" {
+			go s.followLoop()
+		}
+	})
+}
 
 // Info reports recovery details (valid after New).
 func (s *Server) Info() Info { return s.info }
@@ -708,6 +834,18 @@ func (s *Server) simTarget() float64 {
 // progressed=false with a nap when the next event lies in the wall
 // future (timescale mode) or there is nothing to do.
 func (s *Server) tryStep() (progressed bool, nap time.Duration) {
+	if s.follower {
+		// A follower paces against the primary's clock, not the wall:
+		// step exactly while the next event is inside the replicated
+		// horizon, then wait for the tailer to move it (its apply
+		// closures wake the loop through the calls channel).
+		next, ok := s.sim.PeekNextEventTime()
+		if !ok || next > s.followHorizon {
+			return false, 0
+		}
+		s.stepOnce()
+		return true, 0
+	}
 	if s.cfg.Timescale > 0 {
 		if !s.anchored {
 			s.baseWall, s.baseSim = wallNow(), s.sim.Now()
@@ -803,12 +941,14 @@ func (s *Server) enqueue(rec trace.Record) (*jobEntry, error) {
 	if rec.ArrivalSec < s.queue.lastArrival() {
 		return nil, fmt.Errorf("serve: arrival %g before stream tail %g", rec.ArrivalSec, s.queue.lastArrival())
 	}
-	if err := s.journal.appendSubmit(rec); err != nil {
+	line, err := s.journal.appendSubmit(rec)
+	if err != nil {
 		// Losing journal durability is fatal for recovery guarantees:
 		// stop the run without admitting the record anywhere.
 		s.runErr = fmt.Errorf("%w: %v", errJournal, err)
 		return nil, s.runErr
 	}
+	s.rep.append(line)
 	s.queue.push(rec) // cannot fail: arrival order was checked above
 	return s.addEntry(rec), nil
 }
@@ -818,10 +958,12 @@ func (s *Server) enqueue(rec trace.Record) (*jobEntry, error) {
 // enqueue: an unjournaled cancel must not be applied.
 func (s *Server) journalCancel(e *jobEntry) (CancelRecord, error) {
 	c := CancelRecord{JobID: e.id, AtSec: s.sim.Now()}
-	if err := s.journal.appendCancel(c); err != nil {
+	line, err := s.journal.appendCancel(c)
+	if err != nil {
 		s.runErr = fmt.Errorf("%w: %v", errJournal, err)
 		return c, s.runErr
 	}
+	s.rep.append(line)
 	return c, nil
 }
 
@@ -870,6 +1012,66 @@ func (s *Server) liveArrival() float64 {
 		at = la
 	}
 	return at
+}
+
+// admit applies the admission window to a live submission stamped
+// arrival. Loop context. Either bound exceeded sheds the submission
+// with 429 and a Retry-After estimating when capacity frees up —
+// derived from the timescale, since the queue drains at simulation
+// speed. Bounds at zero are disabled (the replay tooling enqueues
+// whole workloads up front).
+func (s *Server) admit(arrival float64) *httpError {
+	if bound := s.cfg.MaxQueuedJobs; bound > 0 {
+		if queued := len(s.byIndex) - s.sim.Consumed(); queued >= bound {
+			s.shedQueue++
+			return &httpError{
+				code:       http.StatusTooManyRequests,
+				msg:        fmt.Sprintf("admission queue full: %d submissions awaiting admission (bound %d)", queued, bound),
+				retryAfter: s.queueRetryAfter(),
+			}
+		}
+	}
+	if bound := s.cfg.MaxLookaheadSec; bound > 0 {
+		if ahead := arrival - s.sim.Now(); ahead > bound {
+			s.shedLookahead++
+			return &httpError{
+				code:       http.StatusTooManyRequests,
+				msg:        fmt.Sprintf("arrival %g is %g sim-seconds ahead of the clock (bound %g)", arrival, ahead, bound),
+				retryAfter: wallSecondsFor(ahead-bound, s.cfg.Timescale),
+			}
+		}
+	}
+	return nil
+}
+
+// queueRetryAfter estimates the wall seconds until the oldest queued
+// submission is due for admission. Loop context.
+func (s *Server) queueRetryAfter() int {
+	consumed := s.sim.Consumed()
+	if consumed >= len(s.byIndex) {
+		return 1
+	}
+	head := s.byIndex[consumed].rec.ArrivalSec
+	return wallSecondsFor(head-s.sim.Now(), s.cfg.Timescale)
+}
+
+// wallSecondsFor converts a simulated-seconds gap into a whole-second
+// Retry-After under the timescale, clamped to [1, 60] so a shed client
+// neither hammers the server nor stalls for a sim-scale eternity. With
+// no timescale the backlog drains as fast as the host steps, so 1
+// second is the honest answer.
+func wallSecondsFor(simSec, timescale float64) int {
+	if timescale <= 0 {
+		return 1
+	}
+	sec := int(math.Ceil(simSec / timescale))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
 }
 
 // persist writes the service snapshot: wrapper (id cursor, covered
